@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark harness.
+
+Benchmarks replay the *benchmark-scale* scenario: the same knobs as the
+default :class:`repro.experiments.config.ExperimentConfig` but with a longer
+trace, which is what the paper-shape ratios are quoted on.  The experiment
+functions themselves are deterministic (seeded), so a single benchmark round
+is both a timing measurement and a reproduction run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, build_scenario
+
+#: Event counts used by the figure-regeneration benchmarks.  Large enough for
+#: the paper's qualitative shape to be stable, small enough that the whole
+#: benchmark suite finishes in a few minutes of pure Python.
+BENCH_QUERY_COUNT = 6000
+BENCH_UPDATE_COUNT = 6000
+
+
+def bench_config(**overrides) -> ExperimentConfig:
+    """The benchmark-scale experiment configuration."""
+    defaults = dict(query_count=BENCH_QUERY_COUNT, update_count=BENCH_UPDATE_COUNT)
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+@pytest.fixture(scope="session")
+def benchmark_config() -> ExperimentConfig:
+    """Session-wide default benchmark configuration."""
+    return bench_config()
+
+
+@pytest.fixture(scope="session")
+def benchmark_scenario(benchmark_config):
+    """The default benchmark scenario (catalogue + trace), built once."""
+    return build_scenario(benchmark_config)

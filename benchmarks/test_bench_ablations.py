@@ -1,0 +1,112 @@
+"""Benchmarks of the design-choice ablations (experiment E8, ours).
+
+Quantifies the impact of Delta's individual design choices: randomized vs
+counter-based loading, the eviction policy behind the LoadManager, the
+max-flow solver, and Benefit's sensitivity to its tuning knobs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_config
+from repro.experiments import ablations
+from repro.experiments.config import build_scenario
+
+ABLATION_CONFIG = bench_config(query_count=4000, update_count=4000)
+
+
+@pytest.fixture(scope="module")
+def ablation_scenario():
+    return build_scenario(ABLATION_CONFIG)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_loading_mechanism(benchmark, ablation_scenario):
+    result = benchmark.pedantic(
+        ablations.run_loading_ablation, args=(ABLATION_CONFIG, ablation_scenario),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(ablations.format_table("Loading mechanism (randomized vs counter)", result))
+    relative = result.relative_to("randomized")
+    benchmark.extra_info["counter_over_randomized"] = round(relative["counter"], 3)
+    # The randomized mechanism emulates the counters in expectation, so the
+    # two variants must land in the same ballpark.
+    assert 0.6 <= relative["counter"] <= 1.6
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_eviction_policy(benchmark, ablation_scenario):
+    result = benchmark.pedantic(
+        ablations.run_eviction_ablation, args=(ABLATION_CONFIG, ablation_scenario),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(ablations.format_table("Eviction policy behind the LoadManager", result))
+    relative = result.relative_to("gds")
+    for name, value in relative.items():
+        benchmark.extra_info[f"{name}_over_gds"] = round(value, 3)
+    # GDS (the paper's choice) should be competitive with every alternative.
+    assert min(relative.values()) >= 0.75
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_flow_method(benchmark, ablation_scenario):
+    result = benchmark.pedantic(
+        ablations.run_flow_method_ablation, args=(ABLATION_CONFIG, ablation_scenario),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(ablations.format_table("Max-flow solver (decisions must agree)", result))
+    assert result.traffic["edmonds-karp"] == pytest.approx(result.traffic["dinic"])
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_preshipping(benchmark, ablation_scenario):
+    result = benchmark.pedantic(
+        ablations.run_preship_ablation, args=(ABLATION_CONFIG, ablation_scenario),
+        rounds=1, iterations=1,
+    )
+    baseline = result["baseline"]
+    preship = result["preship"]
+    print()
+    print("Preshipping (paper discussion): traffic vs response time")
+    print(f"{'variant':<10} {'traffic (MB)':>14} {'mean RT (s)':>12} {'delayed':>9}")
+    for label, variant in result.items():
+        print(f"{label:<10} {variant.total_traffic:>14.1f} "
+              f"{variant.response_times.mean:>12.4f} "
+              f"{variant.response_times.delayed_fraction:>9.1%}")
+    benchmark.extra_info["preship_extra_traffic"] = round(
+        preship.total_traffic - baseline.total_traffic, 1
+    )
+    benchmark.extra_info["delayed_fraction_baseline"] = round(
+        baseline.response_times.delayed_fraction, 3
+    )
+    benchmark.extra_info["delayed_fraction_preship"] = round(
+        preship.response_times.delayed_fraction, 3
+    )
+    # Preshipping trades (at most a little) extra update traffic for fewer
+    # queries waiting on synchronous update shipping.
+    assert preship.total_traffic >= baseline.total_traffic - 1e-6
+    assert (
+        preship.response_times.delayed_fraction
+        <= baseline.response_times.delayed_fraction + 1e-9
+    )
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_benefit_sensitivity(benchmark, ablation_scenario):
+    result = benchmark.pedantic(
+        ablations.run_benefit_sensitivity, args=(ABLATION_CONFIG, ablation_scenario),
+        kwargs={"windows": (250, 1000, 2000), "alphas": (0.1, 0.3, 0.9)},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(ablations.format_table("Benefit sensitivity to window / alpha", result))
+    values = list(result.traffic.values())
+    spread = max(values) / min(values)
+    benchmark.extra_info["benefit_tuning_spread"] = round(spread, 3)
+    # Benefit's outcome depends visibly on its tuning (the paper's point about
+    # heuristic brittleness); a >5 % spread across settings demonstrates it.
+    assert spread >= 1.02

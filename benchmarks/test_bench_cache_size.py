@@ -1,0 +1,39 @@
+"""Benchmark of the supporting cache-size sweep (Section 6.1 default choice).
+
+Sweeps the cache from 10 % to 100 % of the server and prints the final traffic
+per policy, showing the diminishing returns past the 20-30 % the paper uses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_config
+from repro.experiments import cache_size
+
+SWEEP_CONFIG = bench_config(query_count=4000, update_count=4000)
+FRACTIONS = (0.1, 0.2, 0.3, 0.5, 1.0)
+
+
+@pytest.mark.benchmark(group="cache-size")
+def test_cache_size_sweep(benchmark):
+    result = benchmark.pedantic(
+        cache_size.run, args=(SWEEP_CONFIG,),
+        kwargs={"fractions": FRACTIONS, "policies": ("nocache", "vcover", "soptimal")},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(cache_size.format_table(result))
+    for fraction, traffic in zip(result.fractions, result.traffic["vcover"]):
+        benchmark.extra_info[f"vcover_at_{int(fraction * 100)}pct"] = round(traffic, 1)
+
+    nocache = result.traffic["nocache"]
+    vcover = result.traffic["vcover"]
+    # NoCache ignores the cache size entirely.
+    assert max(nocache) == pytest.approx(min(nocache))
+    # A bigger cache never makes VCover substantially worse, and by 30 % the
+    # bulk of the achievable saving is already realised.
+    assert vcover[-1] <= vcover[0] * 1.1
+    saving_at_30 = nocache[2] - vcover[2]
+    saving_at_100 = nocache[-1] - vcover[-1]
+    assert saving_at_30 >= 0.5 * saving_at_100

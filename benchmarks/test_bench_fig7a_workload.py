@@ -1,0 +1,26 @@
+"""Benchmark/regeneration of Figure 7(a): workload characterisation.
+
+Regenerates the query/update scatter data and prints the hotspot summary; the
+paper's claims (distinct query vs update hotspots, evolving queried set) are
+asserted as loose qualitative bounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig7a
+
+
+@pytest.mark.benchmark(group="fig7a")
+def test_fig7a_workload_characterisation(benchmark, benchmark_config, benchmark_scenario):
+    result = benchmark.pedantic(
+        fig7a.characterise_trace, args=(benchmark_scenario.trace,), rounds=1, iterations=1
+    )
+    print()
+    print(fig7a.format_report(result))
+    benchmark.extra_info["hotspot_overlap"] = result.hotspot_overlap
+    benchmark.extra_info["evolution_distance"] = result.evolution_distance
+    # Figure 7a's two visual claims.
+    assert result.hotspot_overlap <= 0.35, "query and update hotspots should be largely distinct"
+    assert result.evolution_distance >= 0.05, "the queried object set should evolve over the trace"

@@ -1,0 +1,33 @@
+"""Benchmark/regeneration of Figure 7(b): cumulative traffic for all policies.
+
+Prints the cumulative-traffic endpoints and the headline ratios, and asserts
+the orderings the figure shows: SOptimal < VCover < {Replica, NoCache}, with
+VCover well below NoCache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig7b
+
+
+@pytest.mark.benchmark(group="fig7b")
+def test_fig7b_cumulative_traffic(benchmark, benchmark_config):
+    result = benchmark.pedantic(fig7b.run, args=(benchmark_config,), rounds=1, iterations=1)
+    print()
+    print(fig7b.format_table(result))
+    costs = result.final_costs()
+    ratios = result.headline_ratios()
+    for key, value in ratios.items():
+        if isinstance(value, float):
+            benchmark.extra_info[key] = round(value, 3)
+
+    # Orderings from Figure 7(b).
+    assert costs["soptimal"] <= costs["vcover"], "SOptimal is the hindsight floor"
+    assert costs["vcover"] < costs["nocache"], "VCover must beat NoCache"
+    assert costs["vcover"] < costs["replica"], "VCover must beat Replica"
+    assert costs["vcover"] <= costs["benefit"] * 1.05, "VCover should not lose to Benefit"
+    # Magnitudes (loose): paper reports ~2x vs NoCache, ~1.5x vs Replica.
+    assert ratios["nocache_over_vcover"] >= 1.3
+    assert ratios["replica_over_vcover"] >= 1.1

@@ -1,0 +1,41 @@
+"""Benchmark/regeneration of Figure 8(a): final traffic vs number of updates.
+
+The sweep keeps the query workload fixed and scales the update stream from
+x0.5 to x1.5 of the default.  The paper's claims: NoCache is flat, Replica
+grows linearly with the update count, and the caching policies grow only
+slightly because they compensate by caching fewer objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_config
+from repro.experiments import fig8a
+
+#: Smaller trace per sweep point: the sweep runs 5 policies x 3 multipliers.
+SWEEP_CONFIG = bench_config(query_count=4000, update_count=4000)
+MULTIPLIERS = (0.5, 1.0, 1.5)
+
+
+@pytest.mark.benchmark(group="fig8a")
+def test_fig8a_varying_updates(benchmark):
+    result = benchmark.pedantic(
+        fig8a.run, args=(SWEEP_CONFIG,), kwargs={"multipliers": MULTIPLIERS}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig8a.format_table(result))
+    for policy in result.traffic:
+        benchmark.extra_info[f"growth_{policy}"] = round(result.growth(policy), 3)
+
+    # NoCache never ships updates: flat.
+    assert result.growth("nocache") == pytest.approx(1.0, rel=0.05)
+    # Replica ships every update: tripling updates triples its traffic.
+    assert result.growth("replica") == pytest.approx(3.0, rel=0.2)
+    # The adaptive policies grow much more slowly than Replica.
+    assert result.growth("vcover") < 0.6 * result.growth("replica")
+    assert result.growth("soptimal") < 0.6 * result.growth("replica")
+    # At every sweep point VCover stays below NoCache.
+    for index in range(len(MULTIPLIERS)):
+        assert result.traffic["vcover"][index] < result.traffic["nocache"][index]

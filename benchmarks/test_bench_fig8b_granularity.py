@@ -1,0 +1,42 @@
+"""Benchmark/regeneration of Figure 8(b): VCover traffic vs object granularity.
+
+Replays the workload against the paper's seven partitioning levels (10 to 532
+objects) and prints VCover's final traffic for each.  The paper's claim: the
+coarsest partitionings waste cache space and decouple poorly; performance
+improves toward an intermediate level and then degrades slowly again for very
+fine partitionings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_config
+from repro.experiments import fig8b
+from repro.repository.catalog import PARTITION_LEVELS
+
+#: One VCover run per level; keep the per-level trace moderate.
+SWEEP_CONFIG = bench_config(query_count=4000, update_count=4000)
+
+
+@pytest.mark.benchmark(group="fig8b")
+def test_fig8b_object_granularity(benchmark):
+    result = benchmark.pedantic(
+        fig8b.run, args=(SWEEP_CONFIG,), kwargs={"object_counts": PARTITION_LEVELS},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(fig8b.format_table(result))
+    for object_count, traffic in result.traffic.items():
+        benchmark.extra_info[f"traffic_{object_count}_objects"] = round(traffic, 1)
+    benchmark.extra_info["best_level"] = result.best_level()
+
+    coarsest = result.traffic[PARTITION_LEVELS[0]]     # 10 objects
+    default = result.traffic[68]
+    best = min(result.traffic.values())
+    # The default and best levels clearly beat the coarsest partitioning.
+    assert default < coarsest
+    assert best < coarsest
+    # The sweet spot is at an intermediate level, not at the extremes
+    # (paper: improvement up to ~91 objects, then slight degradation).
+    assert result.best_level() not in (PARTITION_LEVELS[0],)

@@ -1,0 +1,35 @@
+"""Benchmark of the warm-up behaviour (Section 6.1).
+
+The paper reports that during the warm-up prefix of cheap queries the cache
+stays nearly empty and almost every query is shipped; occupancy and hit rate
+climb only once full-cost queries arrive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import warmup
+
+
+@pytest.mark.benchmark(group="warmup")
+def test_warmup_behaviour(benchmark, benchmark_config):
+    result = benchmark.pedantic(
+        warmup.run, args=(benchmark_config,), kwargs={"sample_every": 500}, rounds=1,
+        iterations=1,
+    )
+    print()
+    print(warmup.format_report(result))
+    benchmark.extra_info["warmup_knee_event"] = result.warmup_knee
+    benchmark.extra_info["configured_warmup_end"] = result.configured_warmup_end
+
+    early = [used for event, used in result.occupancy if event <= result.configured_warmup_end]
+    late = [used for event, used in result.occupancy if event > result.configured_warmup_end]
+    assert early and late
+    # The cache is (nearly) empty during the cheap-query prefix and fills
+    # afterwards.
+    assert max(early) <= 0.5
+    assert max(late) > max(early)
+    # The occupancy knee falls at or after the configured warm-up boundary's
+    # neighbourhood (the cache cannot fill while queries are cheap).
+    assert result.warmup_knee >= result.configured_warmup_end * 0.5

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Generate, persist and characterise an SDSS-style workload trace.
+
+Shows the workload-substrate half of the library in isolation: build a
+partitioned catalogue, generate a query trace with evolving hotspots and an
+update trace clustered along survey scans, interleave them, save the result
+as JSONL, reload it, and print the Figure 7(a)-style characterisation
+(hotspots, hotspot overlap, workload evolution) plus an ASCII sketch of the
+object-id/event scatter.
+
+Run with::
+
+    python examples/trace_inspector.py [--out trace.jsonl]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.experiments import fig7a
+from repro.experiments.config import ExperimentConfig, build_scenario
+from repro.workload.trace import Trace
+
+
+def ascii_scatter(result, object_count: int, width: int = 72, height: int = 20) -> str:
+    """A rough text rendering of Figure 7(a): '.' = query access, 'x' = update."""
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    points = result.scatter_sample(stride=5)
+    if not points:
+        return "(empty trace)"
+    max_event = max(event for event, _, _ in points) or 1
+    for event, object_id, kind in points:
+        column = min(width - 1, int(event / max_event * (width - 1)))
+        row = min(height - 1, int((object_id - 1) / max(object_count - 1, 1) * (height - 1)))
+        grid[height - 1 - row][column] = "x" if kind == "update" else "."
+    lines = ["object-id ^"]
+    lines.extend("".join(row) for row in grid)
+    lines.append("-" * width + "> event sequence   ('.'=query access, 'x'=update)")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--objects", type=int, default=68, help="number of data objects")
+    parser.add_argument("--events", type=int, default=6000, help="total trace events")
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument("--out", type=Path, default=Path("delta_trace.jsonl"),
+                        help="where to write the JSONL trace")
+    args = parser.parse_args()
+
+    config = ExperimentConfig(
+        object_count=args.objects,
+        query_count=args.events // 2,
+        update_count=args.events // 2,
+        seed=args.seed,
+    )
+    scenario = build_scenario(config)
+    trace = scenario.trace
+
+    print(f"generated {len(trace)} events over {args.objects} objects")
+    stats = trace.describe()
+    print(f"  query traffic : {stats['total_query_cost']:.1f} MB")
+    print(f"  update traffic: {stats['total_update_cost']:.1f} MB")
+
+    trace.to_jsonl(args.out)
+    reloaded = Trace.from_jsonl(args.out)
+    print(f"  round-trip    : wrote and reloaded {len(reloaded)} events via {args.out}")
+
+    result = fig7a.characterise_trace(reloaded)
+    print()
+    print(fig7a.format_report(result))
+    print()
+    print(ascii_scatter(result, object_count=args.objects))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The canonical project metadata lives in ``pyproject.toml``; this shim exists
+so that ``pip install -e .`` keeps working on environments whose setuptools
+predates PEP 660 editable-wheel support (it lets pip fall back to the legacy
+``setup.py develop`` code path, which needs no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

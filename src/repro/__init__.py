@@ -1,0 +1,75 @@
+"""Delta: a dynamic data middleware cache for rapidly-growing scientific repositories.
+
+This library is a from-scratch reproduction of the system described in
+
+    Malik, Wang, Little, Chaudhary, Thakar.
+    "A Dynamic Data Middleware Cache for Rapidly-Growing Scientific
+    Repositories", Middleware 2010.
+
+The public API is organised as follows:
+
+* :mod:`repro.core` -- the decision framework: the :class:`repro.core.Delta`
+  facade, the :class:`repro.core.VCoverPolicy` online algorithm, the
+  :class:`repro.core.BenefitPolicy` baseline and the three yardstick policies,
+* :mod:`repro.flow` -- max-flow / minimum-weight vertex-cover substrate,
+* :mod:`repro.cache` -- the space-constrained object store and eviction
+  policies (Greedy-Dual-Size and friends),
+* :mod:`repro.repository` -- data objects, queries, updates and the server,
+* :mod:`repro.sky` -- the hierarchical triangular mesh and sky partitioning,
+* :mod:`repro.workload` -- SDSS-style trace generators,
+* :mod:`repro.network` -- traffic cost accounting,
+* :mod:`repro.sim` -- the event-driven simulator and multi-policy runner,
+* :mod:`repro.experiments` -- one module per table/figure of the paper.
+
+Quickstart::
+
+    from repro.core import Delta, DeltaConfig
+    from repro.repository.catalog import sdss_catalog
+    from repro.workload import SDSSQueryGenerator, SurveyUpdateGenerator, interleave
+
+    catalog = sdss_catalog(object_count=68)
+    delta = Delta(catalog, DeltaConfig(policy="vcover", cache_fraction=0.3))
+    trace = interleave(
+        SDSSQueryGenerator(catalog).generate(),
+        SurveyUpdateGenerator(catalog).generate(),
+    )
+    for event in trace:
+        if event.kind == "update":
+            delta.ingest_update(event.update)
+        else:
+            delta.submit_query(event.query)
+    print(delta.traffic_report())
+"""
+
+from repro.core import (
+    BenefitConfig,
+    BenefitPolicy,
+    Delta,
+    DeltaConfig,
+    NoCachePolicy,
+    ReplicaPolicy,
+    SOptimalPolicy,
+    VCoverConfig,
+    VCoverPolicy,
+)
+from repro.repository import DataObject, ObjectCatalog, Query, Repository, Update
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenefitConfig",
+    "BenefitPolicy",
+    "Delta",
+    "DeltaConfig",
+    "NoCachePolicy",
+    "ReplicaPolicy",
+    "SOptimalPolicy",
+    "VCoverConfig",
+    "VCoverPolicy",
+    "DataObject",
+    "ObjectCatalog",
+    "Query",
+    "Repository",
+    "Update",
+    "__version__",
+]

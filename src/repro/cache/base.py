@@ -1,0 +1,95 @@
+"""Eviction-policy interface.
+
+The LoadManager in VCover delegates "which objects should be resident" to an
+object caching algorithm (``A_obj`` in the pseudocode), which the paper
+instantiates with Greedy-Dual-Size.  We define a small interface so that GDS,
+LRU, LFU and Landlord are interchangeable (used by the ablation experiments),
+and so the lazy admission wrapper can compose with any of them.
+
+A policy never talks to the network; it only ranks resident objects for
+eviction and is notified of loads, hits and evictions so it can maintain its
+internal bookkeeping.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Optional
+
+
+class EvictionPolicy(abc.ABC):
+    """Ranks resident objects for eviction.
+
+    Implementations keep whatever per-object metadata they need (GDS credits,
+    LRU timestamps, LFU counters) keyed by object id.  All costs and sizes are
+    in MB.
+    """
+
+    @abc.abstractmethod
+    def on_load(self, object_id: int, size: float, cost: float, timestamp: float) -> None:
+        """Notify the policy that an object was loaded into the cache.
+
+        ``cost`` is the retrieval (load) cost of the object, which for Delta
+        equals its size; the two are passed separately because Landlord-style
+        policies distinguish them.
+        """
+
+    @abc.abstractmethod
+    def on_hit(self, object_id: int, timestamp: float) -> None:
+        """Notify the policy that a query was answered from this object."""
+
+    @abc.abstractmethod
+    def on_evict(self, object_id: int) -> None:
+        """Notify the policy that the object has been evicted."""
+
+    @abc.abstractmethod
+    def victim(self, resident: Iterable[int]) -> Optional[int]:
+        """Choose the next eviction victim among ``resident`` object ids.
+
+        Returns ``None`` when the policy has no opinion (e.g. nothing is
+        resident).  The caller is responsible for actually evicting the object
+        from the store and then calling :meth:`on_evict`.
+        """
+
+    def priority(self, object_id: int) -> float:
+        """Current eviction priority of an object (lower = evicted sooner).
+
+        Optional; the default implementation raises ``NotImplementedError``.
+        Exposed so tests and reports can inspect policy state.
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget all per-object state (used between experiment repetitions)."""
+        raise NotImplementedError
+
+
+class PolicyRegistry:
+    """Registry mapping policy names to factories, used by experiment configs."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, type] = {}
+
+    def register(self, name: str, factory: type) -> None:
+        """Register a policy class under ``name``."""
+        if name in self._factories:
+            raise ValueError(f"policy {name!r} already registered")
+        self._factories[name] = factory
+
+    def create(self, name: str, **kwargs) -> EvictionPolicy:
+        """Instantiate a registered policy."""
+        try:
+            factory = self._factories[name]
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown policy {name!r}; known: {sorted(self._factories)}"
+            ) from exc
+        return factory(**kwargs)
+
+    def names(self) -> List[str]:
+        """All registered policy names."""
+        return sorted(self._factories)
+
+
+#: Global registry populated by the concrete policy modules on import.
+registry = PolicyRegistry()

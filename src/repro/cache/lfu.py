@@ -1,0 +1,50 @@
+"""Least-Frequently-Used eviction (ablation baseline).
+
+LFU keeps a hit counter per object and evicts the least-used one, breaking
+ties by least-recent use.  Like LRU it ignores sizes and costs; it is included
+purely as an ablation point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.cache.base import EvictionPolicy, registry
+
+
+class LFUPolicy(EvictionPolicy):
+    """Classic LFU with LRU tie-breaking."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+        self._last_used: Dict[int, float] = {}
+
+    def on_load(self, object_id: int, size: float, cost: float, timestamp: float) -> None:
+        self._counts[object_id] = 0
+        self._last_used[object_id] = timestamp
+
+    def on_hit(self, object_id: int, timestamp: float) -> None:
+        if object_id not in self._counts:
+            raise KeyError(f"object {object_id} is not tracked by LFU")
+        self._counts[object_id] += 1
+        self._last_used[object_id] = timestamp
+
+    def on_evict(self, object_id: int) -> None:
+        self._counts.pop(object_id, None)
+        self._last_used.pop(object_id, None)
+
+    def victim(self, resident: Iterable[int]) -> Optional[int]:
+        candidates = [oid for oid in resident if oid in self._counts]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda oid: (self._counts[oid], self._last_used[oid]))
+
+    def priority(self, object_id: int) -> float:
+        return float(self._counts[object_id])
+
+    def reset(self) -> None:
+        self._counts.clear()
+        self._last_used.clear()
+
+
+registry.register("lfu", LFUPolicy)

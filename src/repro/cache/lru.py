@@ -1,0 +1,50 @@
+"""Least-Recently-Used eviction (ablation baseline).
+
+LRU ignores object size and retrieval cost entirely; it is included so the
+ablation experiments can show how much of VCover's advantage comes from the
+cost/size awareness of Greedy-Dual-Size versus the decoupling framework
+itself.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional
+
+from repro.cache.base import EvictionPolicy, registry
+
+
+class LRUPolicy(EvictionPolicy):
+    """Classic LRU over object ids."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[int, float]" = OrderedDict()
+
+    def on_load(self, object_id: int, size: float, cost: float, timestamp: float) -> None:
+        self._order.pop(object_id, None)
+        self._order[object_id] = timestamp
+
+    def on_hit(self, object_id: int, timestamp: float) -> None:
+        if object_id not in self._order:
+            raise KeyError(f"object {object_id} is not tracked by LRU")
+        self._order.move_to_end(object_id)
+        self._order[object_id] = timestamp
+
+    def on_evict(self, object_id: int) -> None:
+        self._order.pop(object_id, None)
+
+    def victim(self, resident: Iterable[int]) -> Optional[int]:
+        resident_set = set(resident)
+        for object_id in self._order:
+            if object_id in resident_set:
+                return object_id
+        return None
+
+    def priority(self, object_id: int) -> float:
+        return self._order[object_id]
+
+    def reset(self) -> None:
+        self._order.clear()
+
+
+registry.register("lru", LRUPolicy)

@@ -1,0 +1,167 @@
+"""Command-line interface for the Delta reproduction.
+
+Three subcommands cover the common workflows:
+
+``generate-trace``
+    Build an SDSS-style interleaved trace and write it to a JSONL file.
+
+``run``
+    Replay a trace (generated on the fly or loaded from JSONL) against one
+    policy and print the traffic report.
+
+``compare``
+    Run several policies over the same scenario and print the Figure 7(b)
+    style comparison table.
+
+The CLI is a thin veneer over :mod:`repro.experiments` and :mod:`repro.sim`;
+it exists so the library can be exercised without writing Python.  Install the
+package and invoke ``python -m repro.cli --help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core.benefit import BenefitConfig
+from repro.experiments import fig7a
+from repro.experiments.config import ExperimentConfig, build_scenario
+from repro.sim.engine import EngineConfig
+from repro.sim.runner import compare_policies, default_policy_specs, run_policy
+from repro.workload.trace import Trace
+
+#: Policies selectable from the command line.
+POLICY_CHOICES = ("vcover", "benefit", "nocache", "replica", "soptimal")
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by every subcommand that builds a scenario."""
+    parser.add_argument("--objects", type=int, default=68,
+                        help="number of spatial data objects (default: 68)")
+    parser.add_argument("--queries", type=int, default=4000,
+                        help="number of query events (default: 4000)")
+    parser.add_argument("--updates", type=int, default=4000,
+                        help="number of update events (default: 4000)")
+    parser.add_argument("--cache", type=float, default=0.3,
+                        help="cache size as a fraction of the server (default: 0.3)")
+    parser.add_argument("--seed", type=int, default=7, help="workload seed (default: 7)")
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        object_count=args.objects,
+        query_count=args.queries,
+        update_count=args.updates,
+        cache_fraction=args.cache,
+        seed=args.seed,
+    )
+
+
+def _cmd_generate_trace(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    scenario = build_scenario(config)
+    scenario.trace.to_jsonl(args.out)
+    stats = scenario.trace.describe()
+    print(f"wrote {int(stats['events'])} events to {args.out}")
+    print(f"  queries: {int(stats['queries'])} ({stats['total_query_cost']:.1f} MB of results)")
+    print(f"  updates: {int(stats['updates'])} ({stats['total_update_cost']:.1f} MB of inserts)")
+    if args.characterise:
+        print()
+        print(fig7a.format_report(fig7a.characterise_trace(scenario.trace)))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    scenario = build_scenario(config)
+    trace = Trace.from_jsonl(args.trace) if args.trace is not None else scenario.trace
+    spec = default_policy_specs(
+        benefit_config=BenefitConfig(window_size=config.benefit_window),
+        include=(args.policy,),
+    )[0]
+    result = run_policy(
+        spec,
+        scenario.catalog,
+        trace,
+        cache_capacity=scenario.cache_capacity,
+        engine_config=EngineConfig(
+            sample_every=config.sample_every, measure_from=config.measure_from
+        ),
+    )
+    print(f"policy           : {result.policy_name}")
+    print(f"events processed : {result.events_processed}")
+    print(f"cache answers    : {result.cache_answer_fraction:.1%}")
+    print(f"total traffic    : {result.total_traffic:.1f} MB")
+    for mechanism, value in result.traffic_by_mechanism.items():
+        print(f"  {mechanism:<16}: {value:.1f} MB")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    scenario = build_scenario(config)
+    policies = tuple(args.policies) if args.policies else POLICY_CHOICES
+    comparison = compare_policies(
+        scenario.catalog,
+        scenario.trace,
+        cache_fraction=config.cache_fraction,
+        specs=default_policy_specs(
+            benefit_config=BenefitConfig(window_size=config.benefit_window),
+            include=policies,
+        ),
+        engine_config=EngineConfig(
+            sample_every=config.sample_every, measure_from=config.measure_from
+        ),
+    )
+    print(comparison.as_table())
+    summary = comparison.summary()
+    for key in ("nocache_over_vcover", "replica_over_vcover", "benefit_over_vcover",
+                "vcover_over_soptimal"):
+        if key in summary:
+            print(f"{key:>24}: {summary[key]:.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Delta dynamic data middleware cache (Middleware 2010)"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate-trace", help="generate an SDSS-style trace and write it as JSONL"
+    )
+    _add_scenario_arguments(generate)
+    generate.add_argument("--out", type=Path, required=True, help="output JSONL path")
+    generate.add_argument("--characterise", action="store_true",
+                          help="also print the Figure 7(a) characterisation")
+    generate.set_defaults(handler=_cmd_generate_trace)
+
+    run = subparsers.add_parser("run", help="replay a trace against one policy")
+    _add_scenario_arguments(run)
+    run.add_argument("--policy", choices=POLICY_CHOICES, default="vcover",
+                     help="decision policy (default: vcover)")
+    run.add_argument("--trace", type=Path, default=None,
+                     help="optional JSONL trace to replay instead of generating one")
+    run.set_defaults(handler=_cmd_run)
+
+    compare = subparsers.add_parser("compare", help="compare several policies")
+    _add_scenario_arguments(compare)
+    compare.add_argument("--policies", nargs="*", choices=POLICY_CHOICES, default=None,
+                         help="subset of policies to run (default: all five)")
+    compare.set_defaults(handler=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    sys.exit(main())

@@ -1,0 +1,229 @@
+"""Benefit: the exponential-smoothing greedy baseline (Section 5).
+
+Benefit divides the event sequence into windows of ``delta`` events.  During
+a window it behaves like a conventional dynamic-data cache: updates for
+resident objects are shipped eagerly as they arrive, queries fully covered by
+fresh resident objects are answered at the cache, everything else is shipped.
+
+At each window boundary it computes, for every object, the *benefit* the
+object accrued (or would have accrued) during the closing window:
+
+* resident objects: query traffic saved (each cache-answered query's cost is
+  split among the objects it accesses in proportion to their sizes) minus the
+  update traffic shipped for the object;
+* non-resident objects: the query traffic they *would* have saved minus the
+  update traffic they *would* have caused, minus their load cost.
+
+The forecast ``mu_i = (1 - alpha) * mu_{i-1} + alpha * b_{i-1}`` is smoothed
+exponentially; objects with positive forecasts are ranked in decreasing order
+and greedily loaded until the cache is full (already-resident objects keep
+their slot for free; resident objects that fall off the list are evicted to
+make room).
+
+The paper uses Benefit as the stand-in for heuristics common in commercial
+dynamic-data caches and online view materialisation, and shows it scales
+poorly on evolving scientific workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.decoupling import QueryAction, QueryOutcome
+from repro.core.policy import BaseCachePolicy
+from repro.network.link import NetworkLink
+from repro.repository.queries import Query
+from repro.repository.server import Repository
+from repro.repository.updates import Update
+
+
+@dataclass
+class BenefitConfig:
+    """Configuration of the Benefit policy."""
+
+    #: Window size delta, in events (the paper's default is 1000).
+    window_size: int = 1000
+    #: Exponential smoothing parameter alpha in [0, 1].
+    alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.window_size <= 0:
+            raise ValueError("window_size must be positive")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must lie in [0, 1]")
+
+
+@dataclass
+class _WindowStats:
+    """Per-object accounting accumulated during the current window."""
+
+    #: Query cost shares attributable to the object (saved if resident).
+    query_share: float = 0.0
+    #: Update traffic addressed to the object during the window.
+    update_cost: float = 0.0
+
+
+class BenefitPolicy(BaseCachePolicy):
+    """The window-based, exponentially smoothed greedy heuristic."""
+
+    name = "benefit"
+
+    def __init__(
+        self,
+        repository: Repository,
+        capacity: float,
+        link: NetworkLink,
+        config: Optional[BenefitConfig] = None,
+    ) -> None:
+        super().__init__(repository, capacity, link)
+        self._config = config or BenefitConfig()
+        self._window_events = 0
+        self._window_index = 0
+        self._window_stats: Dict[int, _WindowStats] = {}
+        #: Exponentially smoothed benefit forecast per object.
+        self._forecast: Dict[int, float] = {}
+        self._current_time = 0.0
+
+    @property
+    def config(self) -> BenefitConfig:
+        """The policy's configuration."""
+        return self._config
+
+    @property
+    def window_index(self) -> int:
+        """Number of completed windows."""
+        return self._window_index
+
+    def forecast_of(self, object_id: int) -> float:
+        """Current smoothed benefit forecast of an object (0 if unseen)."""
+        return self._forecast.get(object_id, 0.0)
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def on_update(self, update: Update) -> None:
+        """Eagerly ship updates for resident objects; account the traffic."""
+        self._current_time = update.timestamp
+        self._register_update(update)
+        stats = self._window_stats.setdefault(update.object_id, _WindowStats())
+        stats.update_cost += update.cost
+        if self.is_resident(update.object_id):
+            # Commercial-cache behaviour: keep resident objects current.
+            for outstanding in self.outstanding_updates(update.object_id):
+                self.ship_update(outstanding, update.timestamp)
+        self._tick_window()
+
+    def on_query(self, query: Query) -> QueryOutcome:
+        """Answer from cache when possible, otherwise ship the query."""
+        self._queries_seen += 1
+        self._current_time = query.timestamp
+        if self.cache_satisfies(query):
+            self.record_cache_answer(query)
+            outcome = QueryOutcome(
+                query_id=query.query_id, action=QueryAction.ANSWERED_AT_CACHE
+            )
+        else:
+            cost = self.ship_query(query)
+            outcome = QueryOutcome(
+                query_id=query.query_id,
+                action=QueryAction.SHIPPED_TO_SERVER,
+                query_shipping_cost=cost,
+            )
+        self._attribute_query_shares(query, answered_at_cache=outcome.answered_at_cache)
+        self._tick_window()
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Window accounting
+    # ------------------------------------------------------------------
+    def _attribute_query_shares(self, query: Query, answered_at_cache: bool) -> None:
+        """Split the query's cost among accessed objects, by size.
+
+        Resident objects are only credited for queries the cache *actually*
+        answered (that is the traffic they demonstrably saved).  Non-resident
+        objects are credited hypothetically for every query touching them --
+        the heuristic cannot know whether the query would have been a cache
+        answer had the object been resident, so it assumes the best.  This
+        optimistic-load / realistic-credit asymmetry is exactly what makes
+        Benefit-style heuristics chase evolving hotspots (Section 5).
+        """
+        sizes = {
+            object_id: max(self._repository.catalog.size_of(object_id), 1e-9)
+            for object_id in query.object_ids
+        }
+        total_size = sum(sizes.values())
+        for object_id, size in sizes.items():
+            share = query.cost * size / total_size
+            if self.is_resident(object_id) and not answered_at_cache:
+                continue
+            stats = self._window_stats.setdefault(object_id, _WindowStats())
+            stats.query_share += share
+
+    def _tick_window(self) -> None:
+        self._window_events += 1
+        if self._window_events >= self._config.window_size:
+            self._close_window()
+            self._window_events = 0
+
+    def _close_window(self) -> None:
+        """Compute benefits, update forecasts and re-plan the cache contents."""
+        alpha = self._config.alpha
+        catalog = self._repository.catalog
+        benefits: Dict[int, float] = {}
+        for object_id in catalog.object_ids:
+            stats = self._window_stats.get(object_id, _WindowStats())
+            if self.is_resident(object_id):
+                benefit = stats.query_share - stats.update_cost
+            else:
+                load_cost = self._repository.object_size(object_id)
+                benefit = stats.query_share - stats.update_cost - load_cost
+            benefits[object_id] = benefit
+            previous = self._forecast.get(object_id, 0.0)
+            self._forecast[object_id] = (1.0 - alpha) * previous + alpha * benefit
+        self._window_stats.clear()
+        self._window_index += 1
+        self._replan_cache()
+
+    def _replan_cache(self) -> None:
+        """Greedily (re)build the cached set from positive forecasts."""
+        ranked = sorted(
+            (
+                (object_id, forecast)
+                for object_id, forecast in self._forecast.items()
+                if forecast > 0
+            ),
+            key=lambda item: item[1],
+            reverse=True,
+        )
+        capacity = self.store.capacity
+        target: Set[int] = set()
+        used = 0.0
+        for object_id, _ in ranked:
+            size = self._repository.object_size(object_id)
+            if used + size <= capacity + 1e-9:
+                target.add(object_id)
+                used += size
+
+        # Evict residents that fell out of the target set.
+        for object_id in list(self.store.resident_ids()):
+            if object_id not in target:
+                self.evict_object(object_id)
+
+        # Load target objects that are not resident yet (paying load costs).
+        for object_id, _ in ranked:
+            if object_id in target and not self.is_resident(object_id):
+                if self.store.fits(self._repository.object_size(object_id)):
+                    self.load_object(object_id, self._current_time)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Counters including window progress."""
+        data = super().stats()
+        data["windows_completed"] = float(self._window_index)
+        data["positive_forecasts"] = float(
+            sum(1 for value in self._forecast.values() if value > 0)
+        )
+        return data

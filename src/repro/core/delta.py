@@ -1,0 +1,174 @@
+"""Delta: the user-facing middleware cache facade.
+
+:class:`Delta` wires together the pieces a deployment needs -- a repository,
+a cache of a given size, a network-cost ledger and a decision policy -- behind
+the small API a client application (or the simulator) talks to:
+
+* :meth:`Delta.ingest_update` -- the telescope pipeline delivers a new update
+  to the repository,
+* :meth:`Delta.submit_query` -- an astronomer submits a query at the cache,
+* :meth:`Delta.traffic_report` -- the traffic ledger, broken down by
+  data-communication mechanism.
+
+The facade is what the example programs use; the experiment harness drives
+policies directly through :mod:`repro.sim` for tighter control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Type
+
+from repro.core.benefit import BenefitConfig, BenefitPolicy
+from repro.core.decoupling import QueryOutcome
+from repro.core.policy import CachePolicy
+from repro.core.vcover import VCoverConfig, VCoverPolicy
+from repro.core.yardsticks import NoCachePolicy, ReplicaPolicy, SOptimalPolicy
+from repro.network.cost import LinearCostModel, TrafficCostModel
+from repro.network.link import NetworkLink
+from repro.repository.objects import ObjectCatalog
+from repro.repository.queries import Query
+from repro.repository.server import Repository
+from repro.repository.updates import Update
+
+#: Mapping of policy names to classes for config-driven construction.
+POLICY_CLASSES: Dict[str, Type[CachePolicy]] = {
+    "vcover": VCoverPolicy,
+    "benefit": BenefitPolicy,
+    "nocache": NoCachePolicy,
+    "replica": ReplicaPolicy,
+    "soptimal": SOptimalPolicy,
+}
+
+
+@dataclass
+class DeltaConfig:
+    """Configuration of a Delta deployment.
+
+    Attributes
+    ----------
+    cache_fraction:
+        Cache capacity as a fraction of the repository's total size (the
+        paper's default is 0.3).  Ignored when ``cache_capacity`` is given.
+    cache_capacity:
+        Absolute cache capacity in MB (overrides ``cache_fraction``).
+    policy:
+        Name of the decision policy ("vcover", "benefit", "nocache",
+        "replica" or "soptimal").
+    vcover / benefit:
+        Policy-specific configuration blocks.
+    keep_transfer_records:
+        Whether the network link retains every individual transfer.
+    """
+
+    cache_fraction: float = 0.3
+    cache_capacity: Optional[float] = None
+    policy: str = "vcover"
+    vcover: VCoverConfig = field(default_factory=VCoverConfig)
+    benefit: BenefitConfig = field(default_factory=BenefitConfig)
+    keep_transfer_records: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity is None and not 0.0 <= self.cache_fraction:
+            raise ValueError("cache_fraction must be non-negative")
+        if self.policy not in POLICY_CLASSES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; known: {sorted(POLICY_CLASSES)}"
+            )
+
+
+class Delta:
+    """A Delta middleware-cache deployment.
+
+    Parameters
+    ----------
+    catalog:
+        The object catalogue describing the repository's data objects.
+    config:
+        Deployment configuration; defaults mirror the paper's setup
+        (VCover policy, cache 30 % of the server).
+    cost_model:
+        Traffic cost model; defaults to the paper's linear model.
+    """
+
+    def __init__(
+        self,
+        catalog: ObjectCatalog,
+        config: Optional[DeltaConfig] = None,
+        cost_model: Optional[TrafficCostModel] = None,
+    ) -> None:
+        self._config = config or DeltaConfig()
+        self._repository = Repository(catalog)
+        self._link = NetworkLink(
+            cost_model=cost_model or LinearCostModel(),
+            keep_records=self._config.keep_transfer_records,
+        )
+        capacity = self._config.cache_capacity
+        if capacity is None:
+            capacity = catalog.total_size * self._config.cache_fraction
+        self._policy = self._build_policy(capacity)
+        self._queries_processed = 0
+        self._updates_processed = 0
+
+    def _build_policy(self, capacity: float) -> CachePolicy:
+        name = self._config.policy
+        if name == "vcover":
+            return VCoverPolicy(self._repository, capacity, self._link, self._config.vcover)
+        if name == "benefit":
+            return BenefitPolicy(self._repository, capacity, self._link, self._config.benefit)
+        policy_class = POLICY_CLASSES[name]
+        return policy_class(self._repository, capacity, self._link)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def repository(self) -> Repository:
+        """The server repository."""
+        return self._repository
+
+    @property
+    def policy(self) -> CachePolicy:
+        """The active decision policy."""
+        return self._policy
+
+    @property
+    def link(self) -> NetworkLink:
+        """The traffic ledger."""
+        return self._link
+
+    @property
+    def config(self) -> DeltaConfig:
+        """The deployment configuration."""
+        return self._config
+
+    def ingest_update(self, update: Update) -> None:
+        """Apply a pipeline update at the repository and notify the policy."""
+        self._repository.ingest_update(update)
+        self._policy.on_update(update)
+        self._updates_processed += 1
+
+    def submit_query(self, query: Query) -> QueryOutcome:
+        """Submit a user query at the cache and return the audited outcome."""
+        outcome = self._policy.on_query(query)
+        self._queries_processed += 1
+        return outcome
+
+    def traffic_report(self) -> Dict[str, float]:
+        """Total traffic and per-mechanism breakdown, in MB."""
+        report = {"total": self._link.total_cost}
+        report.update(self._link.total_by_mechanism())
+        return report
+
+    def cache_report(self) -> Dict[str, float]:
+        """Cache occupancy and hit statistics."""
+        stats = self._policy.stats() if hasattr(self._policy, "stats") else {}
+        stats["queries_processed"] = float(self._queries_processed)
+        stats["updates_processed"] = float(self._updates_processed)
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Delta(policy={self._config.policy!r}, "
+            f"traffic={self._link.total_cost:.1f}MB)"
+        )

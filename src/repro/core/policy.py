@@ -1,0 +1,230 @@
+"""Cache-policy interface and shared bookkeeping.
+
+A *policy* is the decision-making brain of the middleware cache: it reacts to
+the interleaved stream of updates (arriving at the repository) and queries
+(arriving at the cache), decides which data-communication mechanism to use,
+and charges all resulting traffic to its :class:`repro.network.link.NetworkLink`.
+
+:class:`BaseCachePolicy` implements the bookkeeping every concrete policy
+needs -- a capacity-constrained :class:`repro.cache.store.CacheStore`, the
+per-object list of *outstanding* updates (updates the server has applied that
+the cached copy has not seen), and helpers for loading/evicting objects and
+shipping updates with correct cost accounting -- so the concrete policies
+(VCover, Benefit, the yardsticks) contain only their decision logic.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.cache.store import CacheStore
+from repro.core.decoupling import QueryOutcome
+from repro.network.link import NetworkLink
+from repro.repository.queries import Query
+from repro.repository.server import Repository
+from repro.repository.updates import Update
+from repro.workload.trace import Trace
+
+
+class CachePolicy(abc.ABC):
+    """Abstract interface of a middleware-cache decision policy."""
+
+    #: Human-readable policy name used in reports and experiment tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def on_update(self, update: Update) -> None:
+        """React to an update arriving at the repository.
+
+        The repository itself has already ingested the update before this
+        hook is called (the simulation engine guarantees the ordering).
+        """
+
+    @abc.abstractmethod
+    def on_query(self, query: Query) -> QueryOutcome:
+        """Answer a query, charging all traffic to the policy's link."""
+
+    def prepare(self, trace: Trace) -> None:
+        """Optional offline preparation before a run (used by SOptimal).
+
+        Online policies must not inspect the future; the default
+        implementation does nothing.
+        """
+
+    def finalize(self) -> None:
+        """Optional hook called after the last event of a run."""
+
+
+class BaseCachePolicy(CachePolicy):
+    """Common residency / freshness bookkeeping for concrete policies.
+
+    Parameters
+    ----------
+    repository:
+        The server the cache talks to.
+    capacity:
+        Cache capacity in MB (``float('inf')`` for unbounded yardsticks).
+    link:
+        Traffic ledger all costs are charged to.
+    """
+
+    def __init__(self, repository: Repository, capacity: float, link: NetworkLink) -> None:
+        self._repository = repository
+        self._link = link
+        self._store = CacheStore(capacity)
+        #: Updates applied at the server but not yet at the cached copy,
+        #: tracked only for resident objects, oldest first.
+        self._outstanding: Dict[int, List[Update]] = {}
+        self._queries_seen = 0
+        self._updates_seen = 0
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def repository(self) -> Repository:
+        """The server repository."""
+        return self._repository
+
+    @property
+    def link(self) -> NetworkLink:
+        """The policy's traffic ledger."""
+        return self._link
+
+    @property
+    def store(self) -> CacheStore:
+        """The policy's cache store."""
+        return self._store
+
+    @property
+    def total_traffic(self) -> float:
+        """Total traffic the policy has charged so far."""
+        return self._link.total_cost
+
+    def outstanding_updates(self, object_id: int) -> List[Update]:
+        """Outstanding (unshipped) updates for a resident object."""
+        return list(self._outstanding.get(object_id, ()))
+
+    def is_resident(self, object_id: int) -> bool:
+        """Whether an object is currently cached."""
+        return object_id in self._store
+
+    def resident_objects(self) -> List[int]:
+        """Ids of all currently cached objects."""
+        return sorted(self._store.resident_ids())
+
+    # ------------------------------------------------------------------
+    # Update arrival bookkeeping
+    # ------------------------------------------------------------------
+    def _register_update(self, update: Update) -> None:
+        """Record an update against the cached copy of its object (if any)."""
+        self._updates_seen += 1
+        if update.object_id in self._store:
+            self._store.mark_stale(update.object_id)
+            self._outstanding.setdefault(update.object_id, []).append(update)
+
+    # ------------------------------------------------------------------
+    # Currency reasoning
+    # ------------------------------------------------------------------
+    def interacting_updates(self, query: Query, object_id: int) -> List[Update]:
+        """Outstanding updates on ``object_id`` that ``query`` must see.
+
+        These are the updates older than the query's tolerance window
+        (``u.timestamp <= q.timestamp - t(q)``); newer outstanding updates may
+        be ignored without violating the query's currency requirement.
+        """
+        return [
+            update
+            for update in self._outstanding.get(object_id, ())
+            if query.requires_update(update.timestamp)
+        ]
+
+    def cache_satisfies(self, query: Query) -> bool:
+        """Whether the cached copies alone satisfy the query's currency."""
+        if not self._store.contains_all(query.object_ids):
+            return False
+        return all(
+            not self.interacting_updates(query, object_id) for object_id in query.object_ids
+        )
+
+    # ------------------------------------------------------------------
+    # Mechanism helpers (all charge the link)
+    # ------------------------------------------------------------------
+    def ship_query(self, query: Query) -> float:
+        """Ship a query to the server and charge its cost."""
+        cost = self._repository.answer_query(query)
+        self._link.ship_query(cost, query.timestamp, query_id=query.query_id)
+        return cost
+
+    def ship_update(self, update: Update, timestamp: float) -> float:
+        """Ship one outstanding update to the cache and charge its cost.
+
+        Applies the update to the cached copy: it is removed from the
+        outstanding list and, if none remain, the object is marked fresh at
+        the current server version.
+        """
+        object_id = update.object_id
+        pending = self._outstanding.get(object_id)
+        if not pending or update not in pending:
+            raise ValueError(
+                f"update {update.update_id} is not outstanding for object {object_id}"
+            )
+        pending.remove(update)
+        self._link.ship_update(
+            update.cost, timestamp, object_id=object_id, update_id=update.update_id
+        )
+        if not pending:
+            self._outstanding.pop(object_id, None)
+            if object_id in self._store:
+                self._store.mark_fresh(object_id, self._repository.object_version(object_id))
+        return update.cost
+
+    def ship_all_outstanding(self, object_id: int, timestamp: float) -> float:
+        """Ship every outstanding update for one object; returns total cost."""
+        total = 0.0
+        for update in list(self._outstanding.get(object_id, ())):
+            total += self.ship_update(update, timestamp)
+        return total
+
+    def load_object(self, object_id: int, timestamp: float, charge: bool = True) -> float:
+        """Load a full snapshot of an object into the cache.
+
+        The snapshot reflects every update the server has applied, so the
+        object arrives fresh and any outstanding-update bookkeeping for it is
+        cleared.  Returns the load cost (charged unless ``charge`` is False,
+        which the Replica yardstick uses because the paper ignores its load
+        costs).
+        """
+        snapshot, size = self._repository.load_object(object_id, timestamp)
+        self._store.insert(
+            object_id, size=size, version=snapshot.version, timestamp=timestamp
+        )
+        self._outstanding.pop(object_id, None)
+        if charge:
+            self._link.load_object(size, timestamp, object_id=object_id)
+            return size
+        return 0.0
+
+    def evict_object(self, object_id: int) -> float:
+        """Evict an object from the cache; returns the freed capacity."""
+        record = self._store.evict(object_id)
+        self._outstanding.pop(object_id, None)
+        return record.size
+
+    def record_cache_answer(self, query: Query) -> None:
+        """Record a cache hit on every object the query touches."""
+        for object_id in query.object_ids:
+            self._store.record_hit(object_id, query.timestamp)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Summary counters for reports."""
+        return {
+            "queries_seen": float(self._queries_seen),
+            "updates_seen": float(self._updates_seen),
+            "total_traffic": self.total_traffic,
+            **{f"store_{key}": value for key, value in self._store.stats().items()},
+        }

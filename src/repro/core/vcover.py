@@ -1,0 +1,214 @@
+"""VCover: the online data-decoupling algorithm of Delta (Section 4).
+
+VCover reacts to each arriving query as follows (Figure 3):
+
+* if every object the query accesses is resident, the **UpdateManager**
+  chooses -- via an incremental minimum-weight vertex cover of the internal
+  interaction graph -- between shipping the query and shipping its outstanding
+  interacting updates;
+* otherwise the query is shipped to the server, and the **LoadManager**
+  decides in the background whether any of the missing objects have become
+  worth loading (randomized cost attribution over a lazy Greedy-Dual-Size
+  cache).
+
+All traffic (query shipping, update shipping, object loading) is charged to
+the policy's :class:`repro.network.link.NetworkLink`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cache.base import EvictionPolicy
+from repro.cache.gds import GreedyDualSize
+from repro.core.decoupling import QueryAction, QueryOutcome
+from repro.core.load_manager import LoadManager
+from repro.core.policy import BaseCachePolicy
+from repro.core.update_manager import UpdateManager
+from repro.network.link import NetworkLink
+from repro.repository.queries import Query
+from repro.repository.server import Repository
+from repro.repository.updates import Update
+
+
+@dataclass
+class VCoverConfig:
+    """Configuration of the VCover policy."""
+
+    #: Max-flow solver used by the UpdateManager ("edmonds-karp" or "dinic").
+    flow_method: str = "edmonds-karp"
+    #: Use the randomized loading mechanism (False = deterministic counters).
+    randomized_loading: bool = True
+    #: Seed for the LoadManager's randomness.
+    seed: int = 17
+    #: Eviction policy name for the LoadManager ("gds", "lru", "lfu", "landlord").
+    eviction_policy: str = "gds"
+    #: Preshipping (paper Section 4, discussion): proactively ship updates for
+    #: resident objects that have recently answered queries, so future queries
+    #: on them do not have to wait for update shipping.  Improves response
+    #: time at the cost of potentially shipping updates that a cover would
+    #: never have justified; network traffic can only go up.
+    preship: bool = False
+    #: An object qualifies for preshipping once it has served this many cache
+    #: answers since being loaded.
+    preship_min_hits: int = 1
+
+
+def _make_eviction_policy(name: str) -> EvictionPolicy:
+    """Instantiate an eviction policy by name (small local factory)."""
+    from repro.cache.base import registry
+
+    return registry.create(name)
+
+
+class VCoverPolicy(BaseCachePolicy):
+    """The VCover online decision policy."""
+
+    name = "vcover"
+
+    def __init__(
+        self,
+        repository: Repository,
+        capacity: float,
+        link: NetworkLink,
+        config: Optional[VCoverConfig] = None,
+    ) -> None:
+        super().__init__(repository, capacity, link)
+        self._config = config or VCoverConfig()
+        self._update_manager = UpdateManager(method=self._config.flow_method)
+        eviction = _make_eviction_policy(self._config.eviction_policy)
+        self._load_manager = LoadManager(
+            store=self.store,
+            policy=eviction,
+            load_cost_of=self._current_load_cost,
+            rng=random.Random(self._config.seed),
+            randomized=self._config.randomized_loading,
+        )
+
+    # ------------------------------------------------------------------
+    # Helper callbacks
+    # ------------------------------------------------------------------
+    def _current_load_cost(self, object_id: int) -> float:
+        """Current load cost of an object: its size at the server right now."""
+        return self._repository.object_size(object_id)
+
+    @property
+    def update_manager(self) -> UpdateManager:
+        """The UpdateManager (exposed for tests and diagnostics)."""
+        return self._update_manager
+
+    @property
+    def load_manager(self) -> LoadManager:
+        """The LoadManager (exposed for tests and diagnostics)."""
+        return self._load_manager
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def on_update(self, update: Update) -> None:
+        """Record an update; resident copies of its object become stale.
+
+        With preshipping enabled, updates for recently used resident objects
+        are pushed to the cache immediately instead of waiting for a query to
+        justify them through the cover.
+        """
+        self._register_update(update)
+        if not self._config.preship:
+            return
+        record = self.store.get(update.object_id)
+        if record is None or record.hits < self._config.preship_min_hits:
+            return
+        for outstanding in self.outstanding_updates(update.object_id):
+            self.ship_update(outstanding, update.timestamp)
+
+    def on_query(self, query: Query) -> QueryOutcome:
+        """Process one query per Figure 3."""
+        self._queries_seen += 1
+        if self.store.contains_all(query.object_ids):
+            return self._handle_in_cache(query)
+        return self._handle_missing(query)
+
+    # ------------------------------------------------------------------
+    # In-cache path: UpdateManager
+    # ------------------------------------------------------------------
+    def _handle_in_cache(self, query: Query) -> QueryOutcome:
+        interacting = {
+            object_id: self.interacting_updates(query, object_id)
+            for object_id in query.object_ids
+        }
+        interacting = {oid: updates for oid, updates in interacting.items() if updates}
+        decision = self._update_manager.decide(query, interacting)
+
+        outcome = QueryOutcome(query_id=query.query_id, action=QueryAction.ANSWERED_AT_CACHE)
+
+        # Ship every update the cover picked (they are now cost-justified).
+        if decision.ship_update_ids:
+            by_id = {
+                update.update_id: update
+                for updates in (
+                    self.outstanding_updates(object_id) for object_id in self.resident_objects()
+                )
+                for update in updates
+            }
+            for update_id in decision.ship_update_ids:
+                update = by_id.get(update_id)
+                if update is None:
+                    continue
+                cost = self.ship_update(update, query.timestamp)
+                outcome.update_shipping_cost += cost
+                outcome.shipped_updates.append(update_id)
+
+        if decision.ship_query:
+            cost = self.ship_query(query)
+            outcome.action = QueryAction.SHIPPED_TO_SERVER
+            outcome.query_shipping_cost = cost
+        else:
+            self.record_cache_answer(query)
+            self._load_manager.note_hit(query)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Missing-object path: ship query, LoadManager in background
+    # ------------------------------------------------------------------
+    def _handle_missing(self, query: Query) -> QueryOutcome:
+        cost = self.ship_query(query)
+        outcome = QueryOutcome(
+            query_id=query.query_id,
+            action=QueryAction.SHIPPED_TO_SERVER,
+            query_shipping_cost=cost,
+        )
+        decision = self._load_manager.consider(query, query.timestamp)
+
+        for object_id in decision.evict_object_ids:
+            dropped = self.outstanding_updates(object_id)
+            self.evict_object(object_id)
+            self._load_manager.note_evict(object_id)
+            if dropped:
+                self._update_manager.forget_updates(u.update_id for u in dropped)
+            outcome.evicted_objects.append(object_id)
+
+        for object_id in decision.load_object_ids:
+            if self.is_resident(object_id):
+                continue
+            superseded = self.outstanding_updates(object_id)
+            if superseded:
+                # A fresh snapshot includes these updates; they can no longer
+                # interact with future queries.
+                self._update_manager.forget_updates(u.update_id for u in superseded)
+            load_cost = self.load_object(object_id, query.timestamp)
+            self._load_manager.note_load(object_id, size=load_cost, timestamp=query.timestamp)
+            outcome.load_cost += load_cost
+            outcome.loaded_objects.append(object_id)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Aggregated counters from the policy and both managers."""
+        data = super().stats()
+        data.update({f"update_manager_{k}": v for k, v in self._update_manager.stats().items()})
+        data.update({f"load_manager_{k}": v for k, v in self._load_manager.stats().items()})
+        return data

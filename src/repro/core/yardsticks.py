@@ -1,0 +1,167 @@
+"""The three yardstick policies of the evaluation (Section 6.1).
+
+* **NoCache** -- no cache at all: every query is shipped to the server.  Any
+  algorithm performing worse than NoCache is useless.
+* **Replica** -- a cache as large as the server holding every object; all
+  updates are shipped to it the moment they arrive.  Load costs and the cache
+  size limit are ignored (as in the paper).  Beating Replica while respecting
+  a real cache size is the bar for "good".
+* **SOptimal** -- the best *static* set of objects chosen with hindsight over
+  the full sequence (conceptually one Benefit decision with a window as large
+  as the whole trace): the chosen objects are loaded once at the start, never
+  evicted, kept current by shipping their updates; queries fully covered are
+  answered at the cache, the rest are shipped.  An online algorithm close to
+  SOptimal is outstanding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.core.decoupling import DecouplingDecision, QueryAction, QueryOutcome
+from repro.core.policy import BaseCachePolicy
+from repro.network.link import NetworkLink
+from repro.repository.queries import Query
+from repro.repository.server import Repository
+from repro.repository.updates import Update
+from repro.workload.trace import Trace
+
+
+class NoCachePolicy(BaseCachePolicy):
+    """Ship every query to the server; never cache anything."""
+
+    name = "nocache"
+
+    def __init__(self, repository: Repository, capacity: float, link: NetworkLink) -> None:
+        # The capacity argument is accepted for interface uniformity but the
+        # policy never loads anything.
+        super().__init__(repository, 0.0, link)
+
+    def on_update(self, update: Update) -> None:
+        """Updates never travel: there is no cache to keep fresh."""
+        self._register_update(update)
+
+    def on_query(self, query: Query) -> QueryOutcome:
+        """Ship the query and charge its cost."""
+        self._queries_seen += 1
+        cost = self.ship_query(query)
+        return QueryOutcome(
+            query_id=query.query_id,
+            action=QueryAction.SHIPPED_TO_SERVER,
+            query_shipping_cost=cost,
+        )
+
+
+class ReplicaPolicy(BaseCachePolicy):
+    """A full replica of the repository kept current by shipping every update.
+
+    The paper ignores the replica's load costs and cache-size limitation, so
+    the policy pre-populates its (unbounded) store without charging and then
+    simply pays for every update.
+    """
+
+    name = "replica"
+
+    def __init__(self, repository: Repository, capacity: float, link: NetworkLink) -> None:
+        super().__init__(repository, float("inf"), link)
+        for obj in repository.catalog:
+            self.load_object(obj.object_id, timestamp=0.0, charge=False)
+
+    def on_update(self, update: Update) -> None:
+        """Ship the update to the replica immediately (charged)."""
+        self._register_update(update)
+        for outstanding in self.outstanding_updates(update.object_id):
+            self.ship_update(outstanding, update.timestamp)
+
+    def on_query(self, query: Query) -> QueryOutcome:
+        """Answer at the replica: it is always complete and current."""
+        self._queries_seen += 1
+        self.record_cache_answer(query)
+        return QueryOutcome(query_id=query.query_id, action=QueryAction.ANSWERED_AT_CACHE)
+
+
+class SOptimalPolicy(BaseCachePolicy):
+    """Best static cache contents chosen in hindsight (offline).
+
+    :meth:`prepare` must be called with the full trace before the run; it
+    ranks objects by their whole-trace benefit (query-share saved minus update
+    traffic minus load cost, exactly one Benefit window spanning everything)
+    and greedily fills the cache.  During the run the chosen objects are kept
+    current by shipping their updates; queries fully covered by the static set
+    are free, the rest are shipped.
+    """
+
+    name = "soptimal"
+
+    def __init__(self, repository: Repository, capacity: float, link: NetworkLink) -> None:
+        super().__init__(repository, capacity, link)
+        self._decision: Optional[DecouplingDecision] = None
+
+    @property
+    def decision(self) -> Optional[DecouplingDecision]:
+        """The static decoupling chosen by :meth:`prepare` (None before)."""
+        return self._decision
+
+    def prepare(self, trace: Trace) -> None:
+        """Choose the static cached set with full knowledge of the trace."""
+        catalog = self._repository.catalog
+        query_share: Dict[int, float] = {oid: 0.0 for oid in catalog.object_ids}
+        update_cost: Dict[int, float] = {oid: 0.0 for oid in catalog.object_ids}
+
+        for query in trace.queries():
+            sizes = {oid: max(catalog.size_of(oid), 1e-9) for oid in query.object_ids}
+            total = sum(sizes.values())
+            for object_id, size in sizes.items():
+                if object_id in query_share:
+                    query_share[object_id] += query.cost * size / total
+        for update in trace.updates():
+            if update.object_id in update_cost:
+                update_cost[update.object_id] += update.cost
+
+        benefits = {
+            oid: query_share[oid] - update_cost[oid] - catalog.size_of(oid)
+            for oid in catalog.object_ids
+        }
+        ranked = sorted(
+            ((oid, benefit) for oid, benefit in benefits.items() if benefit > 0),
+            key=lambda item: item[1],
+            reverse=True,
+        )
+        chosen: Set[int] = set()
+        used = 0.0
+        estimated = 0.0
+        for object_id, benefit in ranked:
+            size = catalog.size_of(object_id)
+            if used + size <= self.store.capacity + 1e-9:
+                chosen.add(object_id)
+                used += size
+                estimated += benefit
+        self._decision = DecouplingDecision(
+            cached_objects=frozenset(chosen), estimated_cost=estimated
+        )
+        # Load the static set up front, paying the load costs.
+        for object_id in sorted(chosen):
+            self.load_object(object_id, timestamp=0.0)
+
+    def on_update(self, update: Update) -> None:
+        """Ship updates for statically cached objects as they arrive."""
+        self._register_update(update)
+        if self.is_resident(update.object_id):
+            for outstanding in self.outstanding_updates(update.object_id):
+                self.ship_update(outstanding, update.timestamp)
+
+    def on_query(self, query: Query) -> QueryOutcome:
+        """Answer from the static set when it covers the query, else ship."""
+        self._queries_seen += 1
+        if self.cache_satisfies(query):
+            self.record_cache_answer(query)
+            return QueryOutcome(
+                query_id=query.query_id, action=QueryAction.ANSWERED_AT_CACHE
+            )
+        cost = self.ship_query(query)
+        return QueryOutcome(
+            query_id=query.query_id,
+            action=QueryAction.SHIPPED_TO_SERVER,
+            query_shipping_cost=cost,
+        )

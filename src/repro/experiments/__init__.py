@@ -1,0 +1,33 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment module exposes a ``run(...)`` function that returns a result
+dataclass plus a ``format_*`` helper producing the rows the paper reports.
+The shared scenario builder lives in :mod:`repro.experiments.config`; the
+mapping from paper figure/table to module is documented in ``DESIGN.md``.
+"""
+
+from repro.experiments import (
+    ablations,
+    cache_size,
+    fig7a,
+    fig7b,
+    fig8a,
+    fig8b,
+    headline,
+    warmup,
+)
+from repro.experiments.config import ExperimentConfig, Scenario, build_scenario
+
+__all__ = [
+    "ExperimentConfig",
+    "Scenario",
+    "build_scenario",
+    "ablations",
+    "cache_size",
+    "fig7a",
+    "fig7b",
+    "fig8a",
+    "fig8b",
+    "headline",
+    "warmup",
+]

@@ -1,0 +1,219 @@
+"""Experiment E8 -- ablations of Delta's design choices (ours).
+
+The paper motivates several design decisions without isolating their impact.
+This experiment quantifies them on the standard scenario:
+
+* **Loading mechanism** -- randomized cost attribution (the paper's choice,
+  space-efficient) vs. explicit per-object counters (the behaviour it
+  emulates in expectation).
+* **Eviction policy** -- Greedy-Dual-Size (the paper's choice) vs. LRU, LFU
+  and Landlord.
+* **Max-flow solver** -- Edmonds-Karp (named in the paper) vs. Dinic;
+  decisions must be identical, only runtime differs, so this doubles as a
+  correctness cross-check.
+* **Benefit window and smoothing** -- sensitivity of the Benefit baseline to
+  its two tuning knobs, supporting the paper's point that heuristic
+  approaches are brittle.
+* **Preshipping** -- the response-time extension sketched in the paper's
+  discussion: proactively pushing updates for recently used cached objects
+  reduces the fraction of queries delayed by synchronous update shipping, at
+  the cost of some extra update traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.benefit import BenefitConfig, BenefitPolicy
+from repro.core.vcover import VCoverConfig, VCoverPolicy
+from repro.experiments.config import ExperimentConfig, Scenario, build_scenario
+from repro.network.latency import LatencyModel, ResponseTimeSummary, summarise_response_times
+from repro.network.link import NetworkLink
+from repro.repository.server import Repository
+from repro.sim.engine import EngineConfig
+from repro.sim.results import RunResult
+from repro.sim.runner import PolicySpec, run_policy
+from repro.workload.trace import QueryEvent, UpdateEvent
+
+
+@dataclass
+class AblationResult:
+    """Final measured traffic for every ablated variant."""
+
+    #: variant label -> final measured traffic.
+    traffic: Dict[str, float] = field(default_factory=dict)
+    runs: Dict[str, RunResult] = field(default_factory=dict)
+
+    def record(self, label: str, run_result: RunResult) -> None:
+        """Add one variant's outcome."""
+        self.traffic[label] = run_result.measured_traffic
+        self.runs[label] = run_result
+
+    def relative_to(self, baseline: str) -> Dict[str, float]:
+        """Every variant's traffic normalised to a baseline variant."""
+        base = self.traffic[baseline]
+        if base == 0:
+            return {label: float("inf") for label in self.traffic}
+        return {label: value / base for label, value in self.traffic.items()}
+
+
+def _engine_config(config: ExperimentConfig) -> EngineConfig:
+    return EngineConfig(sample_every=config.sample_every, measure_from=config.measure_from)
+
+
+def run_loading_ablation(
+    config: Optional[ExperimentConfig] = None, scenario: Optional[Scenario] = None
+) -> AblationResult:
+    """Randomized vs counter-based loading in the LoadManager."""
+    config = config or ExperimentConfig()
+    scenario = scenario or build_scenario(config)
+    result = AblationResult()
+    for label, randomized in (("randomized", True), ("counter", False)):
+        spec = PolicySpec(
+            f"vcover-{label}",
+            lambda repo, cap, link, randomized=randomized: VCoverPolicy(
+                repo, cap, link, VCoverConfig(randomized_loading=randomized)
+            ),
+        )
+        result.record(
+            label,
+            run_policy(spec, scenario.catalog, scenario.trace, scenario.cache_capacity,
+                       engine_config=_engine_config(config)),
+        )
+    return result
+
+
+def run_eviction_ablation(
+    config: Optional[ExperimentConfig] = None,
+    scenario: Optional[Scenario] = None,
+    policies: Sequence[str] = ("gds", "lru", "lfu", "landlord"),
+) -> AblationResult:
+    """GDS vs LRU vs LFU vs Landlord as the LoadManager's object cache."""
+    config = config or ExperimentConfig()
+    scenario = scenario or build_scenario(config)
+    result = AblationResult()
+    for name in policies:
+        spec = PolicySpec(
+            f"vcover-{name}",
+            lambda repo, cap, link, name=name: VCoverPolicy(
+                repo, cap, link, VCoverConfig(eviction_policy=name)
+            ),
+        )
+        result.record(
+            name,
+            run_policy(spec, scenario.catalog, scenario.trace, scenario.cache_capacity,
+                       engine_config=_engine_config(config)),
+        )
+    return result
+
+
+def run_flow_method_ablation(
+    config: Optional[ExperimentConfig] = None, scenario: Optional[Scenario] = None
+) -> AblationResult:
+    """Edmonds-Karp vs Dinic in the UpdateManager (results must agree)."""
+    config = config or ExperimentConfig()
+    scenario = scenario or build_scenario(config)
+    result = AblationResult()
+    for method in ("edmonds-karp", "dinic"):
+        spec = PolicySpec(
+            f"vcover-{method}",
+            lambda repo, cap, link, method=method: VCoverPolicy(
+                repo, cap, link, VCoverConfig(flow_method=method)
+            ),
+        )
+        result.record(
+            method,
+            run_policy(spec, scenario.catalog, scenario.trace, scenario.cache_capacity,
+                       engine_config=_engine_config(config)),
+        )
+    return result
+
+
+def run_benefit_sensitivity(
+    config: Optional[ExperimentConfig] = None,
+    scenario: Optional[Scenario] = None,
+    windows: Sequence[int] = (250, 500, 1000, 2000),
+    alphas: Sequence[float] = (0.1, 0.3, 0.6, 0.9),
+) -> AblationResult:
+    """Benefit's sensitivity to its window size and smoothing parameter."""
+    config = config or ExperimentConfig()
+    scenario = scenario or build_scenario(config)
+    result = AblationResult()
+    for window in windows:
+        spec = PolicySpec(
+            f"benefit-w{window}",
+            lambda repo, cap, link, window=window: BenefitPolicy(
+                repo, cap, link, BenefitConfig(window_size=window)
+            ),
+        )
+        result.record(
+            f"window={window}",
+            run_policy(spec, scenario.catalog, scenario.trace, scenario.cache_capacity,
+                       engine_config=_engine_config(config)),
+        )
+    for alpha in alphas:
+        spec = PolicySpec(
+            f"benefit-a{alpha}",
+            lambda repo, cap, link, alpha=alpha: BenefitPolicy(
+                repo, cap, link, BenefitConfig(window_size=config.benefit_window, alpha=alpha)
+            ),
+        )
+        result.record(
+            f"alpha={alpha}",
+            run_policy(spec, scenario.catalog, scenario.trace, scenario.cache_capacity,
+                       engine_config=_engine_config(config)),
+        )
+    return result
+
+
+@dataclass
+class PreshipVariantResult:
+    """Traffic plus response-time summary for one preshipping setting."""
+
+    total_traffic: float
+    response_times: ResponseTimeSummary
+
+
+def run_preship_ablation(
+    config: Optional[ExperimentConfig] = None,
+    scenario: Optional[Scenario] = None,
+    latency_model: Optional[LatencyModel] = None,
+) -> Dict[str, PreshipVariantResult]:
+    """Compare VCover with and without preshipping (traffic and latency).
+
+    Preshipping is the paper's discussion-section extension: it cannot reduce
+    traffic (it only ships updates earlier, sometimes unnecessarily) but it
+    reduces the fraction of queries that must wait for synchronous update
+    shipping before they can be answered at the cache.
+    """
+    config = config or ExperimentConfig()
+    scenario = scenario or build_scenario(config)
+    latency_model = latency_model or LatencyModel()
+    results: Dict[str, PreshipVariantResult] = {}
+    for label, preship in (("baseline", False), ("preship", True)):
+        repository = Repository(scenario.catalog)
+        link = NetworkLink()
+        policy = VCoverPolicy(
+            repository, scenario.cache_capacity, link, VCoverConfig(preship=preship)
+        )
+        outcomes = []
+        for event in scenario.trace:
+            if isinstance(event, UpdateEvent):
+                repository.ingest_update(event.update)
+                policy.on_update(event.update)
+            elif isinstance(event, QueryEvent):
+                outcomes.append(policy.on_query(event.query))
+        results[label] = PreshipVariantResult(
+            total_traffic=link.total_cost,
+            response_times=summarise_response_times(outcomes, latency_model),
+        )
+    return results
+
+
+def format_table(title: str, result: AblationResult) -> str:
+    """Fixed-width table of variant traffic."""
+    lines = [title, f"{'variant':<20} {'traffic (MB)':>14}"]
+    for label, value in result.traffic.items():
+        lines.append(f"{label:<20} {value:>14.1f}")
+    return "\n".join(lines)

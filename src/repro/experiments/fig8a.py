@@ -1,0 +1,109 @@
+"""Experiment E3 -- varying the number of updates (Figure 8a).
+
+Figure 8(a) keeps the query workload fixed and sweeps the number of updates
+(the paper sweeps 125k..375k against 250k queries), reporting each policy's
+*final* traffic.  The qualitative findings to regenerate:
+
+* NoCache is flat -- it never ships updates, so more updates cost it nothing,
+* Replica grows linearly -- it ships every update, so tripling the updates
+  triples its cost,
+* VCover, Benefit and SOptimal grow only slightly -- they compensate for a
+  hotter update stream by caching fewer (or different) objects.
+
+The sweep is expressed as multipliers of the baseline update count; update
+*traffic* scales proportionally with update count, as in the paper (each
+update's size distribution is unchanged; there are simply more of them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.benefit import BenefitConfig
+from repro.experiments.config import ExperimentConfig, build_scenario
+from repro.sim.engine import EngineConfig
+from repro.sim.results import ComparisonResult
+from repro.sim.runner import compare_policies, default_policy_specs
+
+#: Default sweep: x0.5 .. x1.5 of the baseline update count (paper: 125k..375k
+#: against a 250k baseline).
+DEFAULT_MULTIPLIERS = (0.5, 0.75, 1.0, 1.25, 1.5)
+
+
+@dataclass
+class UpdateSweepResult:
+    """Final traffic per policy for each update-count multiplier."""
+
+    multipliers: List[float]
+    update_counts: List[int]
+    #: policy name -> list of final measured traffic, one per multiplier.
+    traffic: Dict[str, List[float]]
+    comparisons: List[ComparisonResult] = field(default_factory=list)
+
+    def growth(self, policy: str) -> float:
+        """Ratio of the policy's traffic at the largest vs. smallest sweep point."""
+        series = self.traffic[policy]
+        if not series or series[0] == 0:
+            return float("inf")
+        return series[-1] / series[0]
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
+    policies: Sequence[str] = ("nocache", "replica", "benefit", "vcover", "soptimal"),
+) -> UpdateSweepResult:
+    """Run the update-count sweep."""
+    config = config or ExperimentConfig()
+    traffic: Dict[str, List[float]] = {name: [] for name in policies}
+    update_counts: List[int] = []
+    comparisons: List[ComparisonResult] = []
+
+    for multiplier in multipliers:
+        update_count = int(round(config.update_count * multiplier))
+        update_counts.append(update_count)
+        swept = replace(
+            config,
+            update_count=update_count,
+            # Update traffic scales with the number of updates (same per-update
+            # size distribution), exactly as in the paper's sweep.
+            update_traffic_fraction=config.update_traffic_fraction * multiplier,
+        )
+        scenario = build_scenario(swept)
+        specs = default_policy_specs(
+            benefit_config=BenefitConfig(window_size=config.benefit_window),
+            include=policies,
+        )
+        comparison = compare_policies(
+            scenario.catalog,
+            scenario.trace,
+            cache_fraction=config.cache_fraction,
+            specs=specs,
+            engine_config=EngineConfig(
+                sample_every=config.sample_every, measure_from=swept.measure_from
+            ),
+        )
+        comparisons.append(comparison)
+        for name in policies:
+            traffic[name].append(comparison.traffic_of(name))
+
+    return UpdateSweepResult(
+        multipliers=list(multipliers),
+        update_counts=update_counts,
+        traffic=traffic,
+        comparisons=comparisons,
+    )
+
+
+def format_table(result: UpdateSweepResult) -> str:
+    """Fixed-width table: one row per policy, one column per update count."""
+    header = f"{'policy':<10}" + "".join(f"{count:>12}" for count in result.update_counts)
+    lines = ["Figure 8(a) -- final traffic (MB) for varying number of updates", header]
+    for policy, series in result.traffic.items():
+        lines.append(f"{policy:<10}" + "".join(f"{value:>12.1f}" for value in series))
+    lines.append("")
+    for policy in result.traffic:
+        lines.append(f"growth x{result.multipliers[-1]/result.multipliers[0]:.1f} updates -> "
+                     f"{policy}: x{result.growth(policy):.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,248 @@
+"""Residual flow-network data structure.
+
+The :class:`FlowNetwork` below is an adjacency-list residual graph supporting
+the operations the Delta decision framework needs:
+
+* adding vertices and capacitated edges *incrementally* (the interaction graph
+  grows as queries and updates arrive),
+* querying residual capacities and current flow on every edge,
+* mutating flow along augmenting paths,
+* computing the set of vertices reachable from the source in the residual
+  graph (used to extract a minimum cut / vertex cover).
+
+Vertices are arbitrary hashable identifiers.  Edges are stored as paired
+forward/backward arcs so that pushing flow on one automatically updates the
+residual capacity of the other.  Capacities are floats; the module treats any
+value below :data:`EPSILON` as zero to keep floating-point arithmetic stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+#: Capacities or residuals below this threshold are treated as zero.
+EPSILON = 1e-9
+
+Vertex = Hashable
+
+
+@dataclass
+class Arc:
+    """A single directed arc in the residual graph.
+
+    Each logical edge ``u -> v`` with capacity ``c`` is represented by two
+    :class:`Arc` objects: the forward arc (capacity ``c``) and the backward
+    arc (capacity ``0``).  ``partner`` links the two so that pushing flow on
+    one increases the residual capacity of the other.
+    """
+
+    tail: Vertex
+    head: Vertex
+    capacity: float
+    flow: float = 0.0
+    partner: Optional["Arc"] = field(default=None, repr=False, compare=False)
+    #: ``True`` for the arc that carries the original (non-residual) capacity.
+    is_forward: bool = True
+
+    @property
+    def residual(self) -> float:
+        """Remaining capacity on this arc."""
+        return self.capacity - self.flow
+
+    def push(self, amount: float) -> None:
+        """Push ``amount`` units of flow along this arc.
+
+        The partner arc's flow is decreased by the same amount, which is what
+        makes the pair behave as a residual edge.
+        """
+        if amount < -EPSILON:
+            raise ValueError(f"cannot push negative flow {amount!r}")
+        if amount > self.residual + EPSILON:
+            raise ValueError(
+                f"pushing {amount!r} exceeds residual {self.residual!r} on arc "
+                f"{self.tail!r}->{self.head!r}"
+            )
+        self.flow += amount
+        if self.partner is not None:
+            self.partner.flow -= amount
+
+
+class FlowNetwork:
+    """A mutable residual flow network over hashable vertices.
+
+    The network supports incremental growth: vertices and edges may be added
+    at any time, and previously computed flow remains valid (it never exceeds
+    any capacity) because capacities only ever increase.  This is exactly the
+    property the incremental vertex-cover computation in the UpdateManager
+    relies on (Section 4 of the paper).
+    """
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[Vertex, List[Arc]] = {}
+        self._edge_index: Dict[Tuple[Vertex, Vertex], Arc] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: Vertex) -> None:
+        """Add ``vertex`` to the network (a no-op if already present)."""
+        self._adjacency.setdefault(vertex, [])
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Return whether ``vertex`` is present."""
+        return vertex in self._adjacency
+
+    def add_edge(self, tail: Vertex, head: Vertex, capacity: float) -> Arc:
+        """Add a directed edge ``tail -> head`` with the given capacity.
+
+        If the edge already exists its capacity is *increased* by
+        ``capacity``; existing flow is preserved.  Returns the forward arc.
+        """
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity!r}")
+        if tail == head:
+            raise ValueError(f"self-loop edges are not allowed ({tail!r})")
+        self.add_vertex(tail)
+        self.add_vertex(head)
+        key = (tail, head)
+        existing = self._edge_index.get(key)
+        if existing is not None:
+            existing.capacity += capacity
+            return existing
+        forward = Arc(tail=tail, head=head, capacity=capacity, is_forward=True)
+        backward = Arc(tail=head, head=tail, capacity=0.0, is_forward=False)
+        forward.partner = backward
+        backward.partner = forward
+        self._adjacency[tail].append(forward)
+        self._adjacency[head].append(backward)
+        self._edge_index[key] = forward
+        return forward
+
+    def set_capacity(self, tail: Vertex, head: Vertex, capacity: float) -> None:
+        """Set the capacity of an existing edge.
+
+        Raising the capacity keeps the current flow feasible.  Lowering it
+        below the current flow raises :class:`ValueError` because that would
+        invalidate the warm-start invariant.
+        """
+        arc = self.get_edge(tail, head)
+        if arc is None:
+            raise KeyError(f"edge {tail!r}->{head!r} does not exist")
+        if capacity + EPSILON < arc.flow:
+            raise ValueError(
+                f"cannot lower capacity of {tail!r}->{head!r} below its current "
+                f"flow ({arc.flow!r})"
+            )
+        arc.capacity = capacity
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def get_edge(self, tail: Vertex, head: Vertex) -> Optional[Arc]:
+        """Return the forward arc for edge ``tail -> head`` or ``None``."""
+        return self._edge_index.get((tail, head))
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices."""
+        return iter(self._adjacency)
+
+    def arcs_from(self, vertex: Vertex) -> Iterable[Arc]:
+        """Iterate over all arcs (forward and residual) leaving ``vertex``."""
+        return self._adjacency.get(vertex, ())
+
+    def forward_edges(self) -> Iterator[Arc]:
+        """Iterate over every forward (original) arc in the network."""
+        return iter(self._edge_index.values())
+
+    @property
+    def vertex_count(self) -> int:
+        """Number of vertices currently in the network."""
+        return len(self._adjacency)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of forward edges currently in the network."""
+        return len(self._edge_index)
+
+    def flow_value(self, source: Vertex) -> float:
+        """Total flow leaving ``source`` (the value of the current flow)."""
+        total = 0.0
+        for arc in self._adjacency.get(source, ()):
+            if arc.is_forward:
+                total += arc.flow
+            else:
+                total -= arc.flow
+        return total
+
+    def out_flow(self, vertex: Vertex) -> float:
+        """Sum of flow on forward arcs leaving ``vertex``."""
+        return sum(arc.flow for arc in self._adjacency.get(vertex, ()) if arc.is_forward)
+
+    def in_flow(self, vertex: Vertex) -> float:
+        """Sum of flow on forward arcs entering ``vertex``."""
+        total = 0.0
+        for arcs in self._adjacency.values():
+            for arc in arcs:
+                if arc.is_forward and arc.head == vertex:
+                    total += arc.flow
+        return total
+
+    # ------------------------------------------------------------------
+    # Residual reachability (used for min-cut extraction)
+    # ------------------------------------------------------------------
+    def residual_reachable(self, source: Vertex) -> set:
+        """Vertices reachable from ``source`` using arcs with positive residual."""
+        if source not in self._adjacency:
+            return set()
+        seen = {source}
+        stack = [source]
+        while stack:
+            vertex = stack.pop()
+            for arc in self._adjacency[vertex]:
+                if arc.residual > EPSILON and arc.head not in seen:
+                    seen.add(arc.head)
+                    stack.append(arc.head)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Validation helpers (used heavily by the test-suite)
+    # ------------------------------------------------------------------
+    def check_flow_conservation(self, source: Vertex, sink: Vertex) -> None:
+        """Raise ``AssertionError`` if the current flow is infeasible.
+
+        Checks capacity constraints on every forward arc and flow conservation
+        at every vertex other than ``source`` and ``sink``.
+        """
+        for arc in self._edge_index.values():
+            if arc.flow < -EPSILON or arc.flow > arc.capacity + EPSILON:
+                raise AssertionError(
+                    f"arc {arc.tail!r}->{arc.head!r} violates capacity: "
+                    f"flow={arc.flow!r} capacity={arc.capacity!r}"
+                )
+        balance: Dict[Vertex, float] = {v: 0.0 for v in self._adjacency}
+        for arc in self._edge_index.values():
+            balance[arc.tail] -= arc.flow
+            balance[arc.head] += arc.flow
+        for vertex, net in balance.items():
+            if vertex in (source, sink):
+                continue
+            if abs(net) > 1e-6:
+                raise AssertionError(f"flow conservation violated at {vertex!r}: net={net!r}")
+
+    def copy(self) -> "FlowNetwork":
+        """Return a deep copy of the network (structure, capacities and flow)."""
+        clone = FlowNetwork()
+        for vertex in self._adjacency:
+            clone.add_vertex(vertex)
+        for (tail, head), arc in self._edge_index.items():
+            new_arc = clone.add_edge(tail, head, arc.capacity)
+            new_arc.flow = arc.flow
+            assert new_arc.partner is not None
+            new_arc.partner.flow = arc.partner.flow if arc.partner is not None else -arc.flow
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlowNetwork(vertices={self.vertex_count}, edges={self.edge_count})"
+        )

@@ -1,0 +1,320 @@
+"""Incremental maximum flow / minimum-weight vertex cover.
+
+The UpdateManager in VCover (Figure 4/5 of the paper) never recomputes a flow
+from scratch.  Instead it keeps the flow network built in the previous
+iteration, adds the vertices and edges contributed by the newly arrived query
+and its interacting updates, and searches only for *new* augmenting paths.
+Because vertices and edges are only ever added (capacities never shrink), the
+previous flow remains feasible and serves as the warm start.  The paper notes
+that over an entire sequence this costs no more than a single Edmonds-Karp run
+on the final network -- ``O(n m^2)`` instead of ``O(n^2 m^2)``.
+
+:class:`IncrementalMaxFlow` packages that pattern: callers add weighted left
+(query) and right (update) vertices and interaction edges, then ask for the
+current minimum-weight vertex cover.  Vertices may also be *retired*
+(removed from the cover bookkeeping) which is how the remainder subgraph of
+Section 4 is maintained; retiring a vertex freezes its arcs by detaching it
+from the bookkeeping rather than mutating the network, so previously computed
+flow is untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Set, Tuple
+
+from repro.flow.graph import EPSILON, FlowNetwork
+from repro.flow.maxflow import solve_max_flow
+from repro.flow.vertex_cover import (
+    SINK,
+    SOURCE,
+    BipartiteCoverInstance,
+    CoverResult,
+    INFINITE_CAPACITY,
+)
+
+Vertex = Hashable
+
+
+class IncrementalMaxFlow:
+    """Warm-started min-weight vertex cover over a growing bipartite graph.
+
+    The class mirrors the interface the UpdateManager needs:
+
+    * :meth:`add_left` / :meth:`add_right` register a weighted query/update
+      vertex,
+    * :meth:`add_edge` registers an interaction,
+    * :meth:`compute_cover` augments the existing flow and returns the current
+      minimum-weight vertex cover restricted to the *active* (non-retired)
+      vertices,
+    * :meth:`retire` removes vertices from the active set (remainder-subgraph
+      maintenance); their arcs and flow stay in the underlying network so the
+      warm start remains valid.
+    """
+
+    def __init__(self, method: str = "edmonds-karp") -> None:
+        self._network = FlowNetwork()
+        self._network.add_vertex(SOURCE)
+        self._network.add_vertex(SINK)
+        self._method = method
+        self._left_weights: Dict[Vertex, float] = {}
+        self._right_weights: Dict[Vertex, float] = {}
+        self._edges: Set[Tuple[Vertex, Vertex]] = set()
+        self._retired_left: Set[Vertex] = set()
+        self._retired_right: Set[Vertex] = set()
+        self._augmentations = 0
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    def add_left(self, vertex: Vertex, weight: float) -> None:
+        """Register a left-side (query) vertex with the given weight.
+
+        Re-adding an existing vertex with a larger weight raises the capacity
+        of its source arc; a smaller weight is rejected because capacities may
+        not shrink under warm starts.
+        """
+        if weight < 0:
+            raise ValueError(f"weight must be non-negative, got {weight!r}")
+        current = self._left_weights.get(vertex)
+        if current is None:
+            self._left_weights[vertex] = weight
+            self._network.add_edge(SOURCE, ("L", vertex), weight)
+        elif weight > current:
+            self._network.add_edge(SOURCE, ("L", vertex), weight - current)
+            self._left_weights[vertex] = weight
+        elif weight < current - EPSILON:
+            raise ValueError(
+                f"cannot decrease weight of left vertex {vertex!r} "
+                f"from {current!r} to {weight!r}"
+            )
+        self._retired_left.discard(vertex)
+
+    def add_right(self, vertex: Vertex, weight: float) -> None:
+        """Register a right-side (update) vertex with the given weight."""
+        if weight < 0:
+            raise ValueError(f"weight must be non-negative, got {weight!r}")
+        current = self._right_weights.get(vertex)
+        if current is None:
+            self._right_weights[vertex] = weight
+            self._network.add_edge(("R", vertex), SINK, weight)
+        elif weight > current:
+            self._network.add_edge(("R", vertex), SINK, weight - current)
+            self._right_weights[vertex] = weight
+        elif weight < current - EPSILON:
+            raise ValueError(
+                f"cannot decrease weight of right vertex {vertex!r} "
+                f"from {current!r} to {weight!r}"
+            )
+        self._retired_right.discard(vertex)
+
+    def add_edge(self, left: Vertex, right: Vertex) -> None:
+        """Register an interaction edge between a query and an update vertex."""
+        if left not in self._left_weights:
+            raise KeyError(f"left vertex {left!r} has not been added")
+        if right not in self._right_weights:
+            raise KeyError(f"right vertex {right!r} has not been added")
+        if (left, right) in self._edges:
+            return
+        self._edges.add((left, right))
+        self._network.add_edge(("L", left), ("R", right), INFINITE_CAPACITY)
+
+    def has_left(self, vertex: Vertex) -> bool:
+        """Whether ``vertex`` is a registered, non-retired left vertex."""
+        return vertex in self._left_weights and vertex not in self._retired_left
+
+    def has_right(self, vertex: Vertex) -> bool:
+        """Whether ``vertex`` is a registered, non-retired right vertex."""
+        return vertex in self._right_weights and vertex not in self._retired_right
+
+    # ------------------------------------------------------------------
+    # Remainder subgraph maintenance
+    # ------------------------------------------------------------------
+    def retire(self, left: Iterable[Vertex] = (), right: Iterable[Vertex] = ()) -> None:
+        """Mark vertices as retired (excluded from future cover reports).
+
+        The UpdateManager retires update vertices that were picked in a cover
+        (their shipping has been paid for) and query vertices that were *not*
+        picked (they were answered from cache and can no longer justify future
+        shipping).  The underlying arcs keep their flow, preserving the warm
+        start; only the reporting changes.
+        """
+        for vertex in left:
+            if vertex in self._left_weights:
+                self._retired_left.add(vertex)
+        for vertex in right:
+            if vertex in self._right_weights:
+                self._retired_right.add(vertex)
+
+    @property
+    def active_left(self) -> FrozenSet[Vertex]:
+        """Currently active (non-retired) left vertices."""
+        return frozenset(v for v in self._left_weights if v not in self._retired_left)
+
+    @property
+    def active_right(self) -> FrozenSet[Vertex]:
+        """Currently active (non-retired) right vertices."""
+        return frozenset(v for v in self._right_weights if v not in self._retired_right)
+
+    @property
+    def active_edges(self) -> FrozenSet[Tuple[Vertex, Vertex]]:
+        """Interaction edges whose both endpoints are active."""
+        return frozenset(
+            (left, right)
+            for left, right in self._edges
+            if left not in self._retired_left and right not in self._retired_right
+        )
+
+    @property
+    def augmentation_count(self) -> int:
+        """Number of times :meth:`compute_cover` has augmented the flow."""
+        return self._augmentations
+
+    # ------------------------------------------------------------------
+    # Cover computation
+    # ------------------------------------------------------------------
+    def compute_cover(self) -> CoverResult:
+        """Augment the warm-started flow and return the active vertex cover.
+
+        The flow is augmented over the *entire* accumulated network (retired
+        vertices keep contributing their flow, which is what keeps the warm
+        start sound), but the reported cover is restricted to active vertices.
+        """
+        solve_max_flow(self._network, SOURCE, SINK, method=self._method)
+        self._augmentations += 1
+        reachable = self._network.residual_reachable(SOURCE)
+        active_edges = self.active_edges
+        touched_left = {left for left, _ in active_edges}
+        touched_right = {right for _, right in active_edges}
+        left_in_cover = frozenset(
+            vertex
+            for vertex in touched_left
+            if ("L", vertex) not in reachable
+        )
+        right_in_cover = frozenset(
+            vertex for vertex in touched_right if ("R", vertex) in reachable
+        )
+        weight = sum(self._left_weights[v] for v in left_in_cover) + sum(
+            self._right_weights[v] for v in right_in_cover
+        )
+        return CoverResult(
+            left_in_cover=left_in_cover,
+            right_in_cover=right_in_cover,
+            weight=weight,
+            flow_value=self._network.flow_value(SOURCE),
+        )
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    @property
+    def retired_count(self) -> int:
+        """Number of retired vertices still occupying the underlying network."""
+        return len(self._retired_left) + len(self._retired_right)
+
+    def compact(self) -> None:
+        """Rebuild the underlying network with retired vertices removed.
+
+        Retired vertices never receive new edges, so they can only slow the
+        augmenting-path searches down.  Compaction rebuilds the network over
+        the active vertices only, preserving the decision-relevant state:
+
+        * flow on active-active edges (and the matching flow on their source
+          and sink arcs) is carried over unchanged;
+        * capacity already *consumed* toward retired counterparts is removed
+          from the vertex's arc (a left vertex that pushed ``f`` units into
+          now-retired right vertices keeps ``weight - f`` of justification
+          capacity), which leaves the residual graph -- and therefore every
+          future cover decision -- identical to the un-compacted network.
+        """
+        old_network = self._network
+        new_network = FlowNetwork()
+        new_network.add_vertex(SOURCE)
+        new_network.add_vertex(SINK)
+
+        active_left = {v for v in self._left_weights if v not in self._retired_left}
+        active_right = {v for v in self._right_weights if v not in self._retired_right}
+        surviving_edges = {
+            (left, right)
+            for left, right in self._edges
+            if left in active_left and right in active_right
+        }
+
+        # Flow carried by surviving interaction edges, per endpoint.
+        consumed_from_left: Dict[Vertex, float] = {v: 0.0 for v in active_left}
+        consumed_into_right: Dict[Vertex, float] = {v: 0.0 for v in active_right}
+        edge_flows: Dict[Tuple[Vertex, Vertex], float] = {}
+        for left, right in surviving_edges:
+            arc = old_network.get_edge(("L", left), ("R", right))
+            flow = max(arc.flow, 0.0) if arc is not None else 0.0
+            edge_flows[(left, right)] = flow
+            consumed_from_left[left] += flow
+            consumed_into_right[right] += flow
+
+        for left in active_left:
+            source_arc = old_network.get_edge(SOURCE, ("L", left))
+            total_pushed = max(source_arc.flow, 0.0) if source_arc is not None else 0.0
+            kept_flow = consumed_from_left[left]
+            lost_flow = max(total_pushed - kept_flow, 0.0)
+            capacity = max(self._left_weights[left] - lost_flow, kept_flow)
+            arc = new_network.add_edge(SOURCE, ("L", left), capacity)
+            arc.flow = kept_flow
+            assert arc.partner is not None
+            arc.partner.flow = -kept_flow
+            self._left_weights[left] = capacity
+        for right in active_right:
+            sink_arc = old_network.get_edge(("R", right), SINK)
+            total_received = max(sink_arc.flow, 0.0) if sink_arc is not None else 0.0
+            kept_flow = consumed_into_right[right]
+            lost_flow = max(total_received - kept_flow, 0.0)
+            capacity = max(self._right_weights[right] - lost_flow, kept_flow)
+            arc = new_network.add_edge(("R", right), SINK, capacity)
+            arc.flow = kept_flow
+            assert arc.partner is not None
+            arc.partner.flow = -kept_flow
+            self._right_weights[right] = capacity
+        for (left, right), flow in edge_flows.items():
+            arc = new_network.add_edge(("L", left), ("R", right), INFINITE_CAPACITY)
+            arc.flow = flow
+            assert arc.partner is not None
+            arc.partner.flow = -flow
+
+        self._network = new_network
+        self._left_weights = {v: w for v, w in self._left_weights.items() if v in active_left}
+        self._right_weights = {v: w for v, w in self._right_weights.items() if v in active_right}
+        self._edges = set(surviving_edges)
+        self._retired_left.clear()
+        self._retired_right.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection / testing helpers
+    # ------------------------------------------------------------------
+    def to_instance(self, active_only: bool = True) -> BipartiteCoverInstance:
+        """Export the current graph as a standalone cover instance.
+
+        With ``active_only`` (the default) only non-retired vertices and the
+        edges between them are exported, which is what an oracle should solve
+        to cross-check :meth:`compute_cover`.
+        """
+        if active_only:
+            left = {v: w for v, w in self._left_weights.items() if v not in self._retired_left}
+            right = {
+                v: w for v, w in self._right_weights.items() if v not in self._retired_right
+            }
+            edges = self.active_edges
+        else:
+            left = dict(self._left_weights)
+            right = dict(self._right_weights)
+            edges = frozenset(self._edges)
+        return BipartiteCoverInstance(left_weights=left, right_weights=right, edges=edges)
+
+    @property
+    def network(self) -> FlowNetwork:
+        """The underlying residual network (exposed for tests and metrics)."""
+        return self._network
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            "IncrementalMaxFlow("
+            f"left={len(self._left_weights)}, right={len(self._right_weights)}, "
+            f"edges={len(self._edges)}, retired={len(self._retired_left) + len(self._retired_right)})"
+        )

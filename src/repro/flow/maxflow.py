@@ -1,0 +1,167 @@
+"""Maximum-flow solvers: Edmonds-Karp and Dinic.
+
+The paper's offline decoupling algorithm reduces minimum-weight vertex cover
+on the (bipartite) internal interaction graph to a maximum-flow computation
+and cites Edmonds-Karp as the solver.  We provide Edmonds-Karp (BFS augmenting
+paths, the algorithm named in the paper) and Dinic (blocking flows) which is
+asymptotically faster and used by default in the experiment harness when the
+graphs get large.  Both operate on :class:`repro.flow.graph.FlowNetwork` and
+*augment the existing flow*, which is what makes the incremental variant in
+:mod:`repro.flow.incremental` a thin wrapper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Optional
+
+from repro.flow.graph import EPSILON, Arc, FlowNetwork
+
+Vertex = Hashable
+
+
+def _bfs_augmenting_path(
+    network: FlowNetwork, source: Vertex, sink: Vertex
+) -> Optional[List[Arc]]:
+    """Find a shortest augmenting path from ``source`` to ``sink``.
+
+    Returns the list of arcs along the path, or ``None`` when the sink is not
+    reachable in the residual graph.
+    """
+    parents: Dict[Vertex, Arc] = {}
+    visited = {source}
+    queue = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        for arc in network.arcs_from(vertex):
+            if arc.residual <= EPSILON or arc.head in visited:
+                continue
+            visited.add(arc.head)
+            parents[arc.head] = arc
+            if arc.head == sink:
+                path: List[Arc] = []
+                node = sink
+                while node != source:
+                    arc_in = parents[node]
+                    path.append(arc_in)
+                    node = arc_in.tail
+                path.reverse()
+                return path
+            queue.append(arc.head)
+    return None
+
+
+def edmonds_karp_max_flow(network: FlowNetwork, source: Vertex, sink: Vertex) -> float:
+    """Augment ``network`` to a maximum flow using Edmonds-Karp.
+
+    The existing flow on the network is used as the starting point, so calling
+    this repeatedly as the network grows performs exactly the incremental
+    computation described in Section 4 of the paper.  Returns the *total*
+    value of the flow from ``source`` after augmentation.
+    """
+    if not network.has_vertex(source) or not network.has_vertex(sink):
+        return network.flow_value(source) if network.has_vertex(source) else 0.0
+    while True:
+        path = _bfs_augmenting_path(network, source, sink)
+        if path is None:
+            break
+        bottleneck = min(arc.residual for arc in path)
+        if bottleneck <= EPSILON:
+            break
+        for arc in path:
+            arc.push(bottleneck)
+    return network.flow_value(source)
+
+
+class _DinicState:
+    """Per-phase state for Dinic's algorithm (levels and arc iterators)."""
+
+    def __init__(self, network: FlowNetwork, source: Vertex, sink: Vertex) -> None:
+        self.network = network
+        self.source = source
+        self.sink = sink
+        self.levels: Dict[Vertex, int] = {}
+        self.iter_pos: Dict[Vertex, int] = {}
+
+    def build_levels(self) -> bool:
+        """BFS layering of the residual graph; returns True if sink reachable."""
+        self.levels = {self.source: 0}
+        queue = deque([self.source])
+        while queue:
+            vertex = queue.popleft()
+            for arc in self.network.arcs_from(vertex):
+                if arc.residual > EPSILON and arc.head not in self.levels:
+                    self.levels[arc.head] = self.levels[vertex] + 1
+                    queue.append(arc.head)
+        return self.sink in self.levels
+
+    def send_blocking_flow(self, vertex: Vertex, limit: float) -> float:
+        """DFS that pushes a blocking flow from ``vertex`` toward the sink."""
+        if vertex == self.sink:
+            return limit
+        arcs = list(self.network.arcs_from(vertex))
+        position = self.iter_pos.get(vertex, 0)
+        while position < len(arcs):
+            arc = arcs[position]
+            if (
+                arc.residual > EPSILON
+                and self.levels.get(arc.head, -1) == self.levels[vertex] + 1
+            ):
+                pushed = self.send_blocking_flow(arc.head, min(limit, arc.residual))
+                if pushed > EPSILON:
+                    arc.push(pushed)
+                    self.iter_pos[vertex] = position
+                    return pushed
+            position += 1
+            self.iter_pos[vertex] = position
+        return 0.0
+
+
+def dinic_max_flow(network: FlowNetwork, source: Vertex, sink: Vertex) -> float:
+    """Augment ``network`` to a maximum flow using Dinic's algorithm.
+
+    Like :func:`edmonds_karp_max_flow`, augmentation starts from the flow
+    already on the network, so the function may be used incrementally.
+    Returns the total flow value leaving ``source``.
+    """
+    if not network.has_vertex(source) or not network.has_vertex(sink):
+        return network.flow_value(source) if network.has_vertex(source) else 0.0
+    state = _DinicState(network, source, sink)
+    infinity = float("inf")
+    while state.build_levels():
+        state.iter_pos = {}
+        while True:
+            pushed = state.send_blocking_flow(source, infinity)
+            if pushed <= EPSILON:
+                break
+    return network.flow_value(source)
+
+
+#: Mapping of solver names to callables, used by configuration code.
+SOLVERS = {
+    "edmonds-karp": edmonds_karp_max_flow,
+    "dinic": dinic_max_flow,
+}
+
+
+def solve_max_flow(
+    network: FlowNetwork, source: Vertex, sink: Vertex, method: str = "edmonds-karp"
+) -> float:
+    """Dispatch to a named max-flow solver.
+
+    Parameters
+    ----------
+    network:
+        The residual network to augment in place.
+    source, sink:
+        Flow endpoints.
+    method:
+        Either ``"edmonds-karp"`` (the paper's choice) or ``"dinic"``.
+    """
+    try:
+        solver = SOLVERS[method]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown max-flow method {method!r}; expected one of {sorted(SOLVERS)}"
+        ) from exc
+    return solver(network, source, sink)

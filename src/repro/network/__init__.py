@@ -1,0 +1,25 @@
+"""Network substrate: traffic cost accounting.
+
+Delta's sole optimisation objective is network traffic, measured in bytes
+moved between the repository and the middleware cache.  The paper assumes
+costs proportional to transfer size (valid for TCP when transfers dwarf frame
+size).  :mod:`repro.network.cost` defines the cost model and
+:mod:`repro.network.link` the per-mechanism traffic ledger used by the
+simulator and the reports.
+"""
+
+from repro.network.cost import AffineCostModel, LinearCostModel, TrafficCostModel
+from repro.network.latency import LatencyModel, ResponseTimeSummary, summarise_response_times
+from repro.network.link import Mechanism, NetworkLink, TransferRecord
+
+__all__ = [
+    "AffineCostModel",
+    "LinearCostModel",
+    "TrafficCostModel",
+    "LatencyModel",
+    "ResponseTimeSummary",
+    "summarise_response_times",
+    "Mechanism",
+    "NetworkLink",
+    "TransferRecord",
+]

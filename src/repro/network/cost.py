@@ -1,0 +1,54 @@
+"""Traffic cost models.
+
+The paper's cost model is linear: the network traffic cost of any transfer is
+proportional to the number of bytes moved (Section 3, citing Stevens' TCP/IP
+behaviour for large transfers).  We keep the abstraction pluggable so that
+ablations can explore affine models with a per-message overhead -- the
+per-message overhead is what makes shipping thousands of tiny updates less
+attractive than the pure linear model suggests, a realistic refinement the
+paper leaves to future work.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+class TrafficCostModel(abc.ABC):
+    """Maps a transfer size (MB) to a traffic cost."""
+
+    @abc.abstractmethod
+    def cost(self, size: float) -> float:
+        """Traffic cost of moving ``size`` MB in one transfer."""
+
+    def cost_of_many(self, sizes) -> float:
+        """Total cost of a sequence of transfers."""
+        return sum(self.cost(size) for size in sizes)
+
+
+@dataclass(frozen=True)
+class LinearCostModel(TrafficCostModel):
+    """The paper's model: cost equals bytes moved (times an optional factor)."""
+
+    factor: float = 1.0
+
+    def cost(self, size: float) -> float:
+        if size < 0:
+            raise ValueError(f"transfer size must be non-negative, got {size!r}")
+        return self.factor * size
+
+
+@dataclass(frozen=True)
+class AffineCostModel(TrafficCostModel):
+    """Linear cost plus a fixed per-message overhead (used in ablations)."""
+
+    factor: float = 1.0
+    overhead: float = 0.0
+
+    def cost(self, size: float) -> float:
+        if size < 0:
+            raise ValueError(f"transfer size must be non-negative, got {size!r}")
+        if size == 0:
+            return 0.0
+        return self.overhead + self.factor * size

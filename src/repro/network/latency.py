@@ -1,0 +1,117 @@
+"""Response-time (latency) model.
+
+Delta's objective is network traffic, but the paper's discussion (Section 4)
+notes the response-time consequences of its decisions: queries answered from a
+fresh cache are fast; queries that must wait for updates to be shipped, or
+that are shipped to the server themselves, pay wide-area latency; object loads
+happen in the background and do not delay the triggering query.  The paper
+sketches *preshipping* -- proactively pushing updates for hot cached objects --
+as the lever for improving the response time of delayed queries.
+
+:class:`LatencyModel` turns an audited
+:class:`repro.core.decoupling.QueryOutcome` into an estimated response time
+under a simple wide-area link model (round-trip time plus bytes over
+bandwidth), so the preshipping extension and the latency ablations can be
+evaluated quantitatively without simulating a full network stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.core.decoupling import QueryOutcome
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """A simple wide-area link latency model.
+
+    Attributes
+    ----------
+    bandwidth:
+        Sustained wide-area throughput in MB per second.
+    round_trip_time:
+        Per-exchange round-trip latency in seconds.
+    local_latency:
+        Time to answer a query entirely from the local cache, in seconds.
+    """
+
+    bandwidth: float = 100.0
+    round_trip_time: float = 0.05
+    local_latency: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.round_trip_time < 0 or self.local_latency < 0:
+            raise ValueError("latencies must be non-negative")
+
+    def transfer_time(self, size: float) -> float:
+        """Time to move ``size`` MB over the wide-area link (one exchange)."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if size == 0:
+            return 0.0
+        return self.round_trip_time + size / self.bandwidth
+
+    def response_time(self, outcome: QueryOutcome) -> float:
+        """Estimated response time of one audited query outcome.
+
+        * a query answered from a fresh cache costs only the local latency;
+        * updates shipped *synchronously* to satisfy the query's currency add
+          one wide-area exchange of their combined size;
+        * a query shipped to the server adds one exchange of its result size;
+        * object loads are background work (Figure 3 runs the LoadManager "in
+          background") and do not delay the query.
+        """
+        time = self.local_latency
+        if outcome.update_shipping_cost > 0:
+            time += self.transfer_time(outcome.update_shipping_cost)
+        if outcome.query_shipping_cost > 0:
+            time += self.transfer_time(outcome.query_shipping_cost)
+        return time
+
+    def is_delayed(self, outcome: QueryOutcome) -> bool:
+        """Whether the query had to wait on any wide-area exchange."""
+        return outcome.query_shipping_cost > 0 or outcome.update_shipping_cost > 0
+
+
+@dataclass
+class ResponseTimeSummary:
+    """Aggregate response-time statistics over a sequence of outcomes."""
+
+    count: int
+    mean: float
+    p95: float
+    max: float
+    delayed_fraction: float
+
+    @staticmethod
+    def empty() -> "ResponseTimeSummary":
+        """Summary of an empty outcome sequence."""
+        return ResponseTimeSummary(count=0, mean=0.0, p95=0.0, max=0.0, delayed_fraction=0.0)
+
+
+def summarise_response_times(
+    outcomes: Iterable[QueryOutcome], model: LatencyModel
+) -> ResponseTimeSummary:
+    """Summarise the response times of a sequence of query outcomes."""
+    times: List[float] = []
+    delayed = 0
+    for outcome in outcomes:
+        times.append(model.response_time(outcome))
+        if model.is_delayed(outcome):
+            delayed += 1
+    if not times:
+        return ResponseTimeSummary.empty()
+    times.sort()
+    count = len(times)
+    p95_index = min(count - 1, int(round(0.95 * (count - 1))))
+    return ResponseTimeSummary(
+        count=count,
+        mean=sum(times) / count,
+        p95=times[p95_index],
+        max=times[-1],
+        delayed_fraction=delayed / count,
+    )

@@ -1,0 +1,141 @@
+"""The (simulated) network link between repository and cache.
+
+:class:`NetworkLink` is the single place where traffic costs are charged.
+Every policy routes its query shipping, update shipping and object loading
+through a link, so the simulator and the experiment harness can read one
+ledger to produce the paper's cumulative-traffic curves and per-mechanism
+breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.network.cost import LinearCostModel, TrafficCostModel
+
+
+class Mechanism:
+    """The three data-communication mechanisms of Section 3."""
+
+    QUERY_SHIPPING = "query_shipping"
+    UPDATE_SHIPPING = "update_shipping"
+    OBJECT_LOADING = "object_loading"
+
+    ALL = (QUERY_SHIPPING, UPDATE_SHIPPING, OBJECT_LOADING)
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One charged transfer."""
+
+    mechanism: str
+    size: float
+    cost: float
+    timestamp: float
+    #: Object involved (None for query shipping, which may span objects).
+    object_id: Optional[int] = None
+    #: Query or update id for provenance.
+    event_id: Optional[int] = None
+
+
+class NetworkLink:
+    """Traffic ledger for one policy run.
+
+    Parameters
+    ----------
+    cost_model:
+        Traffic cost model; defaults to the paper's linear model.
+    keep_records:
+        When ``True`` every individual transfer is retained (useful for
+        debugging and fine-grained analysis); cumulative counters are always
+        maintained either way.
+    """
+
+    def __init__(
+        self,
+        cost_model: Optional[TrafficCostModel] = None,
+        keep_records: bool = False,
+    ) -> None:
+        self._cost_model = cost_model or LinearCostModel()
+        self._keep_records = keep_records
+        self._records: List[TransferRecord] = []
+        self._totals: Dict[str, float] = {mechanism: 0.0 for mechanism in Mechanism.ALL}
+        self._counts: Dict[str, int] = {mechanism: 0 for mechanism in Mechanism.ALL}
+
+    # ------------------------------------------------------------------
+    # Charging
+    # ------------------------------------------------------------------
+    def charge(
+        self,
+        mechanism: str,
+        size: float,
+        timestamp: float,
+        object_id: Optional[int] = None,
+        event_id: Optional[int] = None,
+    ) -> float:
+        """Charge one transfer and return its cost."""
+        if mechanism not in Mechanism.ALL:
+            raise ValueError(f"unknown mechanism {mechanism!r}")
+        cost = self._cost_model.cost(size)
+        self._totals[mechanism] += cost
+        self._counts[mechanism] += 1
+        if self._keep_records:
+            self._records.append(
+                TransferRecord(
+                    mechanism=mechanism,
+                    size=size,
+                    cost=cost,
+                    timestamp=timestamp,
+                    object_id=object_id,
+                    event_id=event_id,
+                )
+            )
+        return cost
+
+    def ship_query(self, size: float, timestamp: float, query_id: Optional[int] = None) -> float:
+        """Charge a query-shipping transfer."""
+        return self.charge(Mechanism.QUERY_SHIPPING, size, timestamp, event_id=query_id)
+
+    def ship_update(
+        self, size: float, timestamp: float, object_id: Optional[int] = None,
+        update_id: Optional[int] = None,
+    ) -> float:
+        """Charge an update-shipping transfer."""
+        return self.charge(
+            Mechanism.UPDATE_SHIPPING, size, timestamp, object_id=object_id, event_id=update_id
+        )
+
+    def load_object(self, size: float, timestamp: float, object_id: Optional[int] = None) -> float:
+        """Charge an object-loading transfer."""
+        return self.charge(Mechanism.OBJECT_LOADING, size, timestamp, object_id=object_id)
+
+    # ------------------------------------------------------------------
+    # Reading the ledger
+    # ------------------------------------------------------------------
+    @property
+    def total_cost(self) -> float:
+        """Total traffic cost charged so far, in MB."""
+        return sum(self._totals.values())
+
+    def total_by_mechanism(self) -> Dict[str, float]:
+        """Traffic cost per mechanism."""
+        return dict(self._totals)
+
+    def count_by_mechanism(self) -> Dict[str, int]:
+        """Number of transfers per mechanism."""
+        return dict(self._counts)
+
+    @property
+    def records(self) -> List[TransferRecord]:
+        """Individual transfers (empty unless ``keep_records`` was set)."""
+        return list(self._records)
+
+    def reset(self) -> None:
+        """Clear the ledger."""
+        self._records.clear()
+        self._totals = {mechanism: 0.0 for mechanism in Mechanism.ALL}
+        self._counts = {mechanism: 0 for mechanism in Mechanism.ALL}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NetworkLink(total={self.total_cost:.1f}MB)"

@@ -1,0 +1,17 @@
+"""Repository substrate: data objects, queries, updates and the server.
+
+The Delta paper models a scientific repository as a set of spatially
+partitioned *data objects* receiving a continuous stream of updates, queried
+by read-only SQL-like queries that each touch a set of objects and carry a
+tolerance for staleness.  This package provides those models plus an
+in-memory server (:class:`repro.repository.server.Repository`) that stores
+object contents, applies updates, versions objects, and can answer queries --
+the substrate the simulated middleware cache talks to.
+"""
+
+from repro.repository.objects import DataObject, ObjectCatalog
+from repro.repository.queries import Query
+from repro.repository.server import Repository
+from repro.repository.updates import Update
+
+__all__ = ["DataObject", "ObjectCatalog", "Query", "Repository", "Update"]

@@ -1,0 +1,196 @@
+"""The server-side repository substrate.
+
+:class:`Repository` is an in-memory stand-in for the SQL Server database of
+the paper's prototype.  It stores per-object state (current version, applied
+updates, row counts), accepts the continuous update stream from the telescope
+pipeline, and serves the three data-communication mechanisms the cache may
+invoke:
+
+* **query shipping** -- answer a query directly (always possible, always
+  up to date),
+* **update shipping** -- return the outstanding updates for an object so the
+  cache can apply them,
+* **object loading** -- return a full, current snapshot of an object.
+
+The repository also keeps an *update log* per object so that the cache (and
+the decision algorithms) can reason about which updates a given cached
+version is missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.repository.objects import DataObject, ObjectCatalog
+from repro.repository.queries import Query
+from repro.repository.updates import Update
+
+
+@dataclass
+class ObjectState:
+    """Mutable server-side state of one data object."""
+
+    object_id: int
+    #: Version counter; bumped once per applied update.
+    version: int = 0
+    #: Total rows currently in the object (bookkeeping only).
+    rows: int = 0
+    #: Cumulative bytes (MB) added by updates since the initial snapshot.
+    grown_by: float = 0.0
+    #: Full update log in arrival order.
+    update_log: List[Update] = field(default_factory=list)
+
+    def apply(self, update: Update) -> None:
+        """Apply one update to this object's state."""
+        self.version += 1
+        self.rows += update.rows
+        self.grown_by += update.cost
+        self.update_log.append(update)
+
+
+@dataclass(frozen=True)
+class ObjectSnapshot:
+    """An immutable snapshot handed to the cache when an object is loaded."""
+
+    object_id: int
+    version: int
+    size: float
+    #: Timestamp of the latest update included in this snapshot.
+    as_of: float
+
+
+class Repository:
+    """In-memory scientific repository (the 'server').
+
+    Parameters
+    ----------
+    catalog:
+        The object catalogue defining identifiers and base sizes.
+    """
+
+    def __init__(self, catalog: ObjectCatalog) -> None:
+        self._catalog = catalog
+        self._states: Dict[int, ObjectState] = {
+            obj.object_id: ObjectState(object_id=obj.object_id) for obj in catalog
+        }
+        self._updates_received = 0
+        self._queries_answered = 0
+
+    # ------------------------------------------------------------------
+    # Catalogue access
+    # ------------------------------------------------------------------
+    @property
+    def catalog(self) -> ObjectCatalog:
+        """The shared object catalogue."""
+        return self._catalog
+
+    @property
+    def total_size(self) -> float:
+        """Current total repository size in MB (base size plus growth)."""
+        base = self._catalog.total_size
+        growth = sum(state.grown_by for state in self._states.values())
+        return base + growth
+
+    def object_size(self, object_id: int) -> float:
+        """Current size of one object (base size plus growth), in MB.
+
+        This is the *load cost* a cache pays to pull the object right now.
+        """
+        state = self._states[object_id]
+        return self._catalog.size_of(object_id) + state.grown_by
+
+    def object_version(self, object_id: int) -> int:
+        """Current version counter of an object."""
+        return self._states[object_id].version
+
+    # ------------------------------------------------------------------
+    # Update pipeline
+    # ------------------------------------------------------------------
+    def ingest_update(self, update: Update) -> None:
+        """Apply one pipeline update to the repository.
+
+        Raises ``KeyError`` if the update references an unknown object.
+        """
+        state = self._states[update.object_id]
+        state.apply(update)
+        self._updates_received += 1
+
+    def ingest_updates(self, updates: Iterable[Update]) -> None:
+        """Apply a batch of updates in order."""
+        for update in updates:
+            self.ingest_update(update)
+
+    def update_log(self, object_id: int) -> Sequence[Update]:
+        """Full update log of one object, oldest first."""
+        return tuple(self._states[object_id].update_log)
+
+    def updates_since(self, object_id: int, version: int) -> List[Update]:
+        """Updates applied to ``object_id`` after the given version.
+
+        A cache holding a snapshot at ``version`` needs exactly these updates
+        shipped to become current.
+        """
+        log = self._states[object_id].update_log
+        if version < 0:
+            raise ValueError(f"version must be non-negative, got {version}")
+        return list(log[version:])
+
+    def outstanding_update_cost(self, object_id: int, version: int) -> float:
+        """Total shipping cost (MB) of the updates a cached version is missing."""
+        return sum(update.cost for update in self.updates_since(object_id, version))
+
+    # ------------------------------------------------------------------
+    # Data communication mechanisms
+    # ------------------------------------------------------------------
+    def answer_query(self, query: Query) -> float:
+        """Ship a query: answer it at the server.
+
+        Returns the network traffic cost of the result (``nu(q)``).  The
+        repository always has the latest data, so every currency requirement
+        is satisfied here.
+        """
+        for object_id in query.object_ids:
+            if object_id not in self._states:
+                raise KeyError(f"query {query.query_id} touches unknown object {object_id}")
+        self._queries_answered += 1
+        return query.cost
+
+    def ship_updates(self, object_id: int, version: int) -> Tuple[List[Update], float]:
+        """Ship the outstanding updates for one object.
+
+        Returns the updates (oldest first) and their total shipping cost.
+        """
+        updates = self.updates_since(object_id, version)
+        return updates, sum(update.cost for update in updates)
+
+    def load_object(self, object_id: int, timestamp: float) -> Tuple[ObjectSnapshot, float]:
+        """Ship a full current snapshot of one object (object loading).
+
+        Returns the snapshot and the load cost, which is the object's *current*
+        size (base size plus all growth so far).
+        """
+        state = self._states[object_id]
+        size = self.object_size(object_id)
+        snapshot = ObjectSnapshot(
+            object_id=object_id, version=state.version, size=size, as_of=timestamp
+        )
+        return snapshot, size
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Counters for reports and tests."""
+        return {
+            "updates_received": float(self._updates_received),
+            "queries_answered": float(self._queries_answered),
+            "total_size": self.total_size,
+            "object_count": float(len(self._catalog)),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Repository(objects={len(self._catalog)}, "
+            f"size={self.total_size:.1f}MB, updates={self._updates_received})"
+        )

@@ -1,0 +1,85 @@
+"""Update specifications.
+
+Updates in Delta are predominantly data *inserts* produced by the telescope
+pipeline.  Each update affects exactly one data object (Section 3 of the
+paper) and carries a network shipping cost proportional to the number of bytes
+inserted.  Updates are the unit of invalidation: when an update arrives at the
+server for an object that is cached, the cached copy becomes stale until that
+update is shipped (or the object is reloaded).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+class UpdateKind:
+    """Enumeration of update kinds.
+
+    Scientific repositories are append-mostly; the decision framework does not
+    care which kind an update is (Section 4, Discussion), but the repository
+    substrate applies them differently.
+    """
+
+    INSERT = "insert"
+    MODIFY = "modify"
+    DELETE = "delete"
+
+    ALL = (INSERT, MODIFY, DELETE)
+
+
+@dataclass(frozen=True)
+class Update:
+    """A single update event.
+
+    Attributes
+    ----------
+    update_id:
+        Monotonically increasing identifier, unique within a trace.
+    object_id:
+        The single data object this update affects (``o(u)`` in the paper).
+    cost:
+        Network traffic cost (MB) of shipping this update to the cache --
+        proportional to the size of the inserted/modified data.
+    timestamp:
+        Event-sequence time at which the update arrives at the server.
+    kind:
+        One of :class:`UpdateKind`; defaults to ``insert``.
+    rows:
+        Number of rows inserted/affected (bookkeeping for the repository
+        substrate; not used by the decision algorithms).
+    """
+
+    update_id: int
+    object_id: int
+    cost: float
+    timestamp: float
+    kind: str = UpdateKind.INSERT
+    rows: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cost < 0:
+            raise ValueError(f"update {self.update_id} has negative cost {self.cost!r}")
+        if self.kind not in UpdateKind.ALL:
+            raise ValueError(f"update {self.update_id} has unknown kind {self.kind!r}")
+
+    @property
+    def shipping_cost(self) -> float:
+        """Alias for :attr:`cost` matching the paper's ``nu(u)`` notation."""
+        return self.cost
+
+
+class UpdateIdAllocator:
+    """Hands out unique update identifiers for trace generators."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = itertools.count(start)
+
+    def next_id(self) -> int:
+        """Return the next unused update id."""
+        return next(self._counter)
+
+    def __iter__(self) -> Iterator[int]:  # pragma: no cover - convenience
+        return self._counter

@@ -1,0 +1,25 @@
+"""Simulation engine: drive policies over traces and collect metrics.
+
+The evaluation in the paper replays a trace of ~500k interleaved query and
+update events against each policy and reports cumulative network traffic.
+This package provides the event-driven engine that does the replay
+(:mod:`repro.sim.engine`), the metric collectors that record cumulative and
+per-mechanism traffic over the event sequence (:mod:`repro.sim.metrics`), a
+results container with comparison helpers (:mod:`repro.sim.results`) and a
+multi-policy runner used by every experiment (:mod:`repro.sim.runner`).
+"""
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import TrafficTimeSeries
+from repro.sim.results import ComparisonResult, RunResult
+from repro.sim.runner import PolicySpec, compare_policies, run_policy
+
+__all__ = [
+    "SimulationEngine",
+    "TrafficTimeSeries",
+    "ComparisonResult",
+    "RunResult",
+    "PolicySpec",
+    "compare_policies",
+    "run_policy",
+]

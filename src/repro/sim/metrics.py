@@ -1,0 +1,101 @@
+"""Metric collection for simulation runs.
+
+:class:`TrafficTimeSeries` samples a policy's cumulative traffic (total and
+per mechanism) along the event sequence so the experiment harness can
+reproduce the paper's cumulative-cost curves (Figures 7b and 8b) without
+storing per-event data for half a million events: samples are taken every
+``sample_every`` events plus once at the very end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.network.link import Mechanism, NetworkLink
+
+
+@dataclass
+class TrafficSample:
+    """One sample of cumulative traffic at a given event index."""
+
+    event_index: int
+    total: float
+    by_mechanism: Dict[str, float]
+
+
+class TrafficTimeSeries:
+    """Cumulative-traffic samples along the event sequence."""
+
+    def __init__(self, link: NetworkLink, sample_every: int = 1000) -> None:
+        if sample_every <= 0:
+            raise ValueError("sample_every must be positive")
+        self._link = link
+        self._sample_every = sample_every
+        self._samples: List[TrafficSample] = []
+
+    def maybe_sample(self, event_index: int) -> None:
+        """Record a sample if the event index falls on the sampling grid."""
+        if event_index % self._sample_every == 0:
+            self.sample(event_index)
+
+    def sample(self, event_index: int) -> None:
+        """Record a sample unconditionally."""
+        self._samples.append(
+            TrafficSample(
+                event_index=event_index,
+                total=self._link.total_cost,
+                by_mechanism=self._link.total_by_mechanism(),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> List[TrafficSample]:
+        """All samples in event order."""
+        return list(self._samples)
+
+    def event_indices(self) -> List[int]:
+        """Event index of every sample."""
+        return [sample.event_index for sample in self._samples]
+
+    def totals(self) -> List[float]:
+        """Cumulative total traffic at every sample."""
+        return [sample.total for sample in self._samples]
+
+    def series_for(self, mechanism: str) -> List[float]:
+        """Cumulative traffic of one mechanism at every sample."""
+        if mechanism not in Mechanism.ALL:
+            raise ValueError(f"unknown mechanism {mechanism!r}")
+        return [sample.by_mechanism.get(mechanism, 0.0) for sample in self._samples]
+
+    def final_total(self) -> float:
+        """Cumulative traffic at the last sample (0 if never sampled)."""
+        return self._samples[-1].total if self._samples else 0.0
+
+    def as_rows(self) -> List[Tuple[int, float]]:
+        """(event_index, cumulative_total) pairs, ready for tabulation."""
+        return [(sample.event_index, sample.total) for sample in self._samples]
+
+
+@dataclass
+class CacheOccupancySeries:
+    """Samples of cache occupancy (fraction of capacity used) over the run."""
+
+    sample_every: int = 1000
+    event_indices: List[int] = field(default_factory=list)
+    occupancy: List[float] = field(default_factory=list)
+    resident_objects: List[int] = field(default_factory=list)
+
+    def maybe_sample(self, event_index: int, used: float, capacity: float, count: int) -> None:
+        """Record a sample if the event index falls on the sampling grid."""
+        if event_index % self.sample_every != 0:
+            return
+        self.event_indices.append(event_index)
+        if capacity in (0.0, float("inf")):
+            self.occupancy.append(0.0)
+        else:
+            self.occupancy.append(used / capacity)
+        self.resident_objects.append(count)

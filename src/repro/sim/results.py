@@ -1,0 +1,119 @@
+"""Result containers for simulation runs and policy comparisons.
+
+:class:`RunResult` captures everything a single policy run produced: final
+traffic, per-mechanism breakdown, the cumulative time series, query outcome
+counts, and policy statistics.  :class:`ComparisonResult` collects runs of
+several policies over the same trace and offers the ratios the paper quotes
+(VCover vs NoCache, VCover vs Benefit, distance from SOptimal) plus simple
+text tables for reports and benchmark output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.metrics import TrafficTimeSeries
+
+
+@dataclass
+class RunResult:
+    """Outcome of replaying one trace against one policy."""
+
+    policy_name: str
+    total_traffic: float
+    traffic_by_mechanism: Dict[str, float]
+    time_series: TrafficTimeSeries
+    queries_answered_at_cache: int
+    queries_shipped: int
+    events_processed: int
+    policy_stats: Dict[str, float] = field(default_factory=dict)
+    #: Traffic accumulated before the measurement window opened (warm-up).
+    warmup_traffic: float = 0.0
+
+    @property
+    def measured_traffic(self) -> float:
+        """Traffic inside the measurement window (total minus warm-up)."""
+        return self.total_traffic - self.warmup_traffic
+
+    @property
+    def cache_answer_fraction(self) -> float:
+        """Fraction of queries answered at the cache."""
+        total = self.queries_answered_at_cache + self.queries_shipped
+        if total == 0:
+            return 0.0
+        return self.queries_answered_at_cache / total
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary used by reports and benchmark extra_info."""
+        return {
+            "total_traffic": self.total_traffic,
+            "measured_traffic": self.measured_traffic,
+            "cache_answer_fraction": self.cache_answer_fraction,
+            **{f"traffic_{key}": value for key, value in self.traffic_by_mechanism.items()},
+        }
+
+
+@dataclass
+class ComparisonResult:
+    """Runs of several policies over the same trace."""
+
+    runs: Dict[str, RunResult]
+    trace_description: Dict[str, float] = field(default_factory=dict)
+
+    def __getitem__(self, policy_name: str) -> RunResult:
+        return self.runs[policy_name]
+
+    def __contains__(self, policy_name: str) -> bool:
+        return policy_name in self.runs
+
+    def policy_names(self) -> List[str]:
+        """Policies included in the comparison."""
+        return list(self.runs)
+
+    def traffic_of(self, policy_name: str, measured_only: bool = True) -> float:
+        """Traffic of one policy (measurement window by default)."""
+        run = self.runs[policy_name]
+        return run.measured_traffic if measured_only else run.total_traffic
+
+    def ratio(self, numerator: str, denominator: str, measured_only: bool = True) -> float:
+        """Traffic ratio between two policies (e.g. nocache / vcover)."""
+        denom = self.traffic_of(denominator, measured_only)
+        if denom == 0:
+            return float("inf")
+        return self.traffic_of(numerator, measured_only) / denom
+
+    def ranking(self, measured_only: bool = True) -> List[Tuple[str, float]]:
+        """Policies sorted by traffic, cheapest first."""
+        return sorted(
+            ((name, self.traffic_of(name, measured_only)) for name in self.runs),
+            key=lambda item: item[1],
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def as_table(self, measured_only: bool = True) -> str:
+        """A fixed-width text table of per-policy traffic (for bench output)."""
+        lines = [f"{'policy':<12} {'traffic (MB)':>14} {'cache answers':>14}"]
+        for name, traffic in self.ranking(measured_only):
+            run = self.runs[name]
+            lines.append(
+                f"{name:<12} {traffic:>14.1f} {run.cache_answer_fraction:>14.2%}"
+            )
+        return "\n".join(lines)
+
+    def summary(self, measured_only: bool = True) -> Dict[str, float]:
+        """Flat mapping of policy name to traffic (plus headline ratios)."""
+        data = {
+            f"traffic_{name}": self.traffic_of(name, measured_only) for name in self.runs
+        }
+        if "nocache" in self.runs and "vcover" in self.runs:
+            data["nocache_over_vcover"] = self.ratio("nocache", "vcover", measured_only)
+        if "benefit" in self.runs and "vcover" in self.runs:
+            data["benefit_over_vcover"] = self.ratio("benefit", "vcover", measured_only)
+        if "replica" in self.runs and "vcover" in self.runs:
+            data["replica_over_vcover"] = self.ratio("replica", "vcover", measured_only)
+        if "soptimal" in self.runs and "vcover" in self.runs:
+            data["vcover_over_soptimal"] = self.ratio("vcover", "soptimal", measured_only)
+        return data

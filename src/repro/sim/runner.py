@@ -1,0 +1,133 @@
+"""Multi-policy experiment runner.
+
+Every experiment in the paper compares several policies over the same trace.
+:func:`compare_policies` does exactly that: for each policy it builds a fresh
+repository (replaying updates mutates server-side object sizes, so policies
+must not share one), a fresh network link, runs the simulation engine, and
+collects the results into a :class:`repro.sim.results.ComparisonResult`.
+
+Policies are described by :class:`PolicySpec` -- a name plus a factory -- so
+experiments can parameterise policy construction (cache size, VCover/Benefit
+configuration) without the runner knowing about any specific policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.benefit import BenefitConfig, BenefitPolicy
+from repro.core.policy import CachePolicy
+from repro.core.vcover import VCoverConfig, VCoverPolicy
+from repro.core.yardsticks import NoCachePolicy, ReplicaPolicy, SOptimalPolicy
+from repro.network.link import NetworkLink
+from repro.repository.objects import ObjectCatalog
+from repro.repository.server import Repository
+from repro.sim.engine import EngineConfig, SimulationEngine
+from repro.sim.results import ComparisonResult, RunResult
+from repro.workload.trace import Trace
+
+#: Signature of a policy factory: (repository, capacity, link) -> policy.
+PolicyFactory = Callable[[Repository, float, NetworkLink], CachePolicy]
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A named policy constructor used by the runner."""
+
+    name: str
+    factory: PolicyFactory
+
+
+def default_policy_specs(
+    vcover_config: Optional[VCoverConfig] = None,
+    benefit_config: Optional[BenefitConfig] = None,
+    include: Sequence[str] = ("nocache", "replica", "benefit", "vcover", "soptimal"),
+) -> List[PolicySpec]:
+    """The paper's two algorithms plus three yardsticks.
+
+    Parameters
+    ----------
+    vcover_config / benefit_config:
+        Optional configuration overrides.
+    include:
+        Which policies to build specs for (in the returned order).
+    """
+    vcover_config = vcover_config or VCoverConfig()
+    benefit_config = benefit_config or BenefitConfig()
+    available: Dict[str, PolicySpec] = {
+        "nocache": PolicySpec(
+            "nocache", lambda repo, cap, link: NoCachePolicy(repo, cap, link)
+        ),
+        "replica": PolicySpec(
+            "replica", lambda repo, cap, link: ReplicaPolicy(repo, cap, link)
+        ),
+        "benefit": PolicySpec(
+            "benefit",
+            lambda repo, cap, link: BenefitPolicy(repo, cap, link, benefit_config),
+        ),
+        "vcover": PolicySpec(
+            "vcover",
+            lambda repo, cap, link: VCoverPolicy(repo, cap, link, vcover_config),
+        ),
+        "soptimal": PolicySpec(
+            "soptimal", lambda repo, cap, link: SOptimalPolicy(repo, cap, link)
+        ),
+    }
+    unknown = [name for name in include if name not in available]
+    if unknown:
+        raise ValueError(f"unknown policy names {unknown}; known: {sorted(available)}")
+    return [available[name] for name in include]
+
+
+def run_policy(
+    spec: PolicySpec,
+    catalog: ObjectCatalog,
+    trace: Trace,
+    cache_capacity: float,
+    engine_config: Optional[EngineConfig] = None,
+) -> RunResult:
+    """Run one policy over one trace with a fresh repository and link."""
+    repository = Repository(catalog)
+    link = NetworkLink()
+    policy = spec.factory(repository, cache_capacity, link)
+    engine = SimulationEngine(repository, engine_config)
+    return engine.run(policy, trace, link)
+
+
+def compare_policies(
+    catalog: ObjectCatalog,
+    trace: Trace,
+    cache_fraction: float = 0.3,
+    specs: Optional[Sequence[PolicySpec]] = None,
+    engine_config: Optional[EngineConfig] = None,
+    cache_capacity: Optional[float] = None,
+) -> ComparisonResult:
+    """Run several policies over the same trace and collect the results.
+
+    Parameters
+    ----------
+    catalog:
+        Object catalogue shared by all runs (each run gets its own
+        repository built from it).
+    trace:
+        The event sequence.
+    cache_fraction:
+        Cache capacity as a fraction of the catalogue's total size (the
+        paper's default is 0.3); ignored when ``cache_capacity`` is given.
+    specs:
+        Policies to run; defaults to the full paper set.
+    engine_config:
+        Engine configuration (sampling, measurement window).
+    cache_capacity:
+        Absolute cache capacity in MB, overriding ``cache_fraction``.
+    """
+    specs = list(specs) if specs is not None else default_policy_specs()
+    if cache_capacity is None:
+        cache_capacity = catalog.total_size * cache_fraction
+    runs: Dict[str, RunResult] = {}
+    for spec in specs:
+        runs[spec.name] = run_policy(
+            spec, catalog, trace, cache_capacity, engine_config=engine_config
+        )
+    return ComparisonResult(runs=runs, trace_description=trace.describe())

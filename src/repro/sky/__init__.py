@@ -1,0 +1,27 @@
+"""Sky / spatial substrate.
+
+The SDSS stores sky positions and partitions its primary table with the
+Hierarchical Triangular Mesh (HTM), a recursive subdivision of the celestial
+sphere into spherical triangles ("trixels").  Delta's data objects are groups
+of trixels at a chosen subdivision level; queries specify sky regions which
+are mapped to the objects they overlap.
+
+This package implements a self-contained HTM (:mod:`repro.sky.htm`), simple
+sky-region geometry (:mod:`repro.sky.regions`) and the level-to-object-set
+partitioner used by the granularity experiment
+(:mod:`repro.sky.partition`).
+"""
+
+from repro.sky.htm import HTMMesh, Trixel
+from repro.sky.partition import SkyPartition, build_partition
+from repro.sky.regions import CircularRegion, GreatCircleScan, SkyPoint
+
+__all__ = [
+    "HTMMesh",
+    "Trixel",
+    "SkyPartition",
+    "build_partition",
+    "CircularRegion",
+    "GreatCircleScan",
+    "SkyPoint",
+]

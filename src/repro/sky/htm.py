@@ -1,0 +1,229 @@
+"""A self-contained Hierarchical Triangular Mesh (HTM).
+
+The HTM (Kunszt, Szalay & Thakar 2001) recursively subdivides the celestial
+sphere into spherical triangles ("trixels").  Level 0 consists of the eight
+faces of an octahedron inscribed in the sphere; each level splits every trixel
+into four children by connecting the midpoints of its edges.  SDSS assigns
+every row of ``PhotoObj`` to the trixel containing its position, and Delta's
+data objects are (groups of) trixels at a chosen level.
+
+This implementation supports:
+
+* generating all trixels at a level,
+* locating the trixel containing a sky point (top-down descent),
+* testing trixel / circular-region overlap (conservative, via corner and
+  center tests plus angular-size bounds), which is what maps a query's sky
+  region to the data objects it touches.
+
+The geometry is deliberately simple -- it does not implement the full HTM
+ranges/bitlist machinery -- but the identifiers follow the standard HTM naming
+(N0..N3 / S0..S3 roots, two bits appended per level).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sky.regions import CircularRegion, SkyPoint
+
+Vector = Tuple[float, float, float]
+
+
+def _normalize(vec: Sequence[float]) -> Vector:
+    x, y, z = vec
+    norm = math.sqrt(x * x + y * y + z * z)
+    return (x / norm, y / norm, z / norm)
+
+
+def _midpoint(a: Vector, b: Vector) -> Vector:
+    return _normalize((a[0] + b[0], a[1] + b[1], a[2] + b[2]))
+
+
+#: The six vertices of the octahedron that seeds the mesh.
+_OCTAHEDRON_VERTICES: Dict[str, Vector] = {
+    "v0": (0.0, 0.0, 1.0),
+    "v1": (1.0, 0.0, 0.0),
+    "v2": (0.0, 1.0, 0.0),
+    "v3": (-1.0, 0.0, 0.0),
+    "v4": (0.0, -1.0, 0.0),
+    "v5": (0.0, 0.0, -1.0),
+}
+
+#: The eight root trixels (name, corner vertex keys) following HTM convention.
+_ROOT_TRIXELS: List[Tuple[str, Tuple[str, str, str]]] = [
+    ("S0", ("v1", "v5", "v2")),
+    ("S1", ("v2", "v5", "v3")),
+    ("S2", ("v3", "v5", "v4")),
+    ("S3", ("v4", "v5", "v1")),
+    ("N0", ("v1", "v0", "v4")),
+    ("N1", ("v4", "v0", "v3")),
+    ("N2", ("v3", "v0", "v2")),
+    ("N3", ("v2", "v0", "v1")),
+]
+
+
+@dataclass(frozen=True)
+class Trixel:
+    """One spherical triangle of the mesh."""
+
+    name: str
+    level: int
+    corners: Tuple[Vector, Vector, Vector]
+
+    @property
+    def center(self) -> SkyPoint:
+        """The trixel's centroid projected back onto the sphere."""
+        cx = sum(c[0] for c in self.corners)
+        cy = sum(c[1] for c in self.corners)
+        cz = sum(c[2] for c in self.corners)
+        return SkyPoint.from_cartesian(cx, cy, cz)
+
+    @property
+    def angular_radius(self) -> float:
+        """Angular distance (degrees) from the centroid to the farthest corner."""
+        center = self.center
+        return max(
+            center.angular_distance(SkyPoint.from_cartesian(*corner)) for corner in self.corners
+        )
+
+    def children(self) -> List["Trixel"]:
+        """The four child trixels one level down."""
+        a, b, c = self.corners
+        ab = _midpoint(a, b)
+        bc = _midpoint(b, c)
+        ca = _midpoint(c, a)
+        next_level = self.level + 1
+        return [
+            Trixel(name=self.name + "0", level=next_level, corners=(a, ab, ca)),
+            Trixel(name=self.name + "1", level=next_level, corners=(b, bc, ab)),
+            Trixel(name=self.name + "2", level=next_level, corners=(c, ca, bc)),
+            Trixel(name=self.name + "3", level=next_level, corners=(ab, bc, ca)),
+        ]
+
+    def contains(self, point: SkyPoint) -> bool:
+        """Whether the point lies inside the spherical triangle.
+
+        A point is inside iff it is on the positive side of all three planes
+        through the origin and consecutive corner pairs (corners are ordered
+        counter-clockwise as seen from outside the sphere).
+        """
+        p = np.array(point.to_cartesian())
+        a, b, c = (np.array(v) for v in self.corners)
+        tolerance = -1e-12
+        return (
+            float(np.dot(np.cross(a, b), p)) >= tolerance
+            and float(np.dot(np.cross(b, c), p)) >= tolerance
+            and float(np.dot(np.cross(c, a), p)) >= tolerance
+        )
+
+    def overlaps(self, region: CircularRegion) -> bool:
+        """Conservative overlap test against a circular region.
+
+        Returns ``True`` when the region's center is inside the trixel, any
+        corner of the trixel is inside the region, or the angular distance
+        between centers is below the sum of the two angular radii (a
+        bounding-cap test).  The test can over-report near trixel edges, which
+        only makes query footprints slightly larger -- harmless for workload
+        generation.
+        """
+        if self.contains(region.center):
+            return True
+        for corner in self.corners:
+            if region.contains(SkyPoint.from_cartesian(*corner)):
+                return True
+        center_distance = self.center.angular_distance(region.center)
+        return center_distance <= self.angular_radius + region.radius
+
+
+class HTMMesh:
+    """All trixels of the mesh at a fixed subdivision level."""
+
+    def __init__(self, level: int) -> None:
+        if level < 0:
+            raise ValueError(f"level must be non-negative, got {level}")
+        if level > 8:
+            raise ValueError("levels above 8 generate >500k trixels; not supported")
+        self._level = level
+        self._trixels = self._build(level)
+        self._by_name = {trixel.name: trixel for trixel in self._trixels}
+
+    @staticmethod
+    def _build(level: int) -> List[Trixel]:
+        current = [
+            Trixel(
+                name=name,
+                level=0,
+                corners=tuple(_OCTAHEDRON_VERTICES[key] for key in corner_keys),
+            )
+            for name, corner_keys in _ROOT_TRIXELS
+        ]
+        for _ in range(level):
+            current = [child for trixel in current for child in trixel.children()]
+        return current
+
+    @property
+    def level(self) -> int:
+        """The subdivision level of this mesh."""
+        return self._level
+
+    def __len__(self) -> int:
+        return len(self._trixels)
+
+    def __iter__(self) -> Iterator[Trixel]:
+        return iter(self._trixels)
+
+    def trixels(self) -> List[Trixel]:
+        """All trixels at this level in deterministic (name) order."""
+        return sorted(self._trixels, key=lambda t: t.name)
+
+    def by_name(self, name: str) -> Trixel:
+        """Look up a trixel by its HTM name."""
+        return self._by_name[name]
+
+    def locate(self, point: SkyPoint) -> Trixel:
+        """Return the trixel containing ``point``.
+
+        Descends from the root trixels; ties on shared edges resolve to the
+        first matching trixel in name order, which keeps the mapping
+        deterministic.
+        """
+        roots = [
+            Trixel(
+                name=name,
+                level=0,
+                corners=tuple(_OCTAHEDRON_VERTICES[key] for key in corner_keys),
+            )
+            for name, corner_keys in _ROOT_TRIXELS
+        ]
+        current: Optional[Trixel] = None
+        for root in roots:
+            if root.contains(point):
+                current = root
+                break
+        if current is None:
+            # Numerical corner case exactly on an edge; pick the nearest root.
+            current = min(roots, key=lambda t: t.center.angular_distance(point))
+        for _ in range(self._level):
+            children = current.children()
+            chosen = None
+            for child in children:
+                if child.contains(point):
+                    chosen = child
+                    break
+            if chosen is None:
+                chosen = min(children, key=lambda t: t.center.angular_distance(point))
+            current = chosen
+        return self._by_name.get(current.name, current)
+
+    def overlapping(self, region: CircularRegion) -> List[Trixel]:
+        """All trixels at this level overlapping ``region``."""
+        return [trixel for trixel in self._trixels if trixel.overlaps(region)]
+
+    @staticmethod
+    def trixel_count(level: int) -> int:
+        """Number of trixels at a level (8 * 4**level)."""
+        return 8 * (4 ** level)

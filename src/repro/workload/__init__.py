@@ -1,0 +1,41 @@
+"""Workload substrate: traces, generators and hotspot models.
+
+The paper drives its evaluation with ~250,000 real SDSS queries (Jan-Feb
+2009) interleaved with ~250,000 simulated updates whose spatial pattern
+mimics how survey telescopes scan the sky.  Neither trace is publicly
+redistributable, so this package generates synthetic traces that reproduce
+the documented statistical properties:
+
+* queries access sets of spatial data objects with heavy-tailed result sizes
+  and **evolving hotspots** (Figure 7a: query hotspots drift over time and are
+  largely disjoint from update hotspots),
+* a mix of query templates (range / spatial self-join / selection /
+  aggregation) with no single dominating shape,
+* early queries have small result costs, producing the long cache warm-up the
+  paper describes,
+* updates cluster along great-circle scans and have sizes proportional to the
+  density of the object they hit, calibrated to ~100 GB/day of update traffic.
+
+The trace model (:mod:`repro.workload.trace`) is policy-agnostic and supports
+JSONL round-trips so generated traces can be saved, inspected and replayed.
+"""
+
+from repro.workload.hotspots import HotspotModel, HotspotPhase
+from repro.workload.mixer import interleave
+from repro.workload.sdss import SDSSQueryGenerator, SDSSWorkloadConfig
+from repro.workload.trace import QueryEvent, Trace, TraceEvent, UpdateEvent
+from repro.workload.updates import SurveyUpdateGenerator, UpdateWorkloadConfig
+
+__all__ = [
+    "HotspotModel",
+    "HotspotPhase",
+    "interleave",
+    "SDSSQueryGenerator",
+    "SDSSWorkloadConfig",
+    "QueryEvent",
+    "Trace",
+    "TraceEvent",
+    "UpdateEvent",
+    "SurveyUpdateGenerator",
+    "UpdateWorkloadConfig",
+]

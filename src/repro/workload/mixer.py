@@ -1,0 +1,130 @@
+"""Interleaving query and update streams into a single trace.
+
+The simulator consumes one time-ordered event stream.  The mixer takes a list
+of queries and a list of updates (each in its own order), assigns them
+interleaved integer timestamps and returns a :class:`repro.workload.trace.Trace`.
+
+Two interleaving modes are provided:
+
+* ``uniform`` -- events from the two streams are merged so that they are
+  spread evenly across the whole trace (the default; matches the paper's
+  roughly 1:1 query:update event mix),
+* ``random`` -- the merge order is a random shuffle (seeded), which keeps the
+  relative order within each stream but randomises the interleaving.
+
+Both modes preserve the internal order of each stream, which is what the
+generators' hotspot/scan evolution assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Literal, Optional, Sequence
+
+import numpy as np
+
+from repro.repository.queries import Query
+from repro.repository.updates import Update
+from repro.workload.trace import QueryEvent, Trace, UpdateEvent
+
+
+def _restamp_query(query: Query, timestamp: float) -> Query:
+    return Query(
+        query_id=query.query_id,
+        object_ids=query.object_ids,
+        cost=query.cost,
+        timestamp=timestamp,
+        tolerance=query.tolerance,
+        template=query.template,
+        sql=query.sql,
+    )
+
+
+def _restamp_update(update: Update, timestamp: float) -> Update:
+    return Update(
+        update_id=update.update_id,
+        object_id=update.object_id,
+        cost=update.cost,
+        timestamp=timestamp,
+        kind=update.kind,
+        rows=update.rows,
+    )
+
+
+def interleave(
+    queries: Sequence[Query],
+    updates: Sequence[Update],
+    mode: Literal["uniform", "random"] = "uniform",
+    seed: int = 99,
+) -> Trace:
+    """Merge queries and updates into one trace with fresh timestamps.
+
+    Timestamps are consecutive integers starting at 1, one per event, so that
+    event-sequence position and simulated time coincide (the paper's x-axes
+    are event-sequence positions).
+
+    Parameters
+    ----------
+    queries / updates:
+        The two streams; internal order is preserved.
+    mode:
+        ``"uniform"`` spreads each stream evenly over the trace;
+        ``"random"`` shuffles the merge order (seeded).
+    seed:
+        RNG seed for ``"random"`` mode.
+    """
+    total = len(queries) + len(updates)
+    if total == 0:
+        return Trace([])
+
+    # Build a boolean schedule: True -> next event comes from the query stream.
+    if mode == "uniform":
+        schedule = _uniform_schedule(len(queries), len(updates))
+    elif mode == "random":
+        rng = np.random.default_rng(seed)
+        schedule = np.array([True] * len(queries) + [False] * len(updates))
+        rng.shuffle(schedule)
+        schedule = schedule.tolist()
+    else:
+        raise ValueError(f"unknown interleave mode {mode!r}")
+
+    events = []
+    query_index = 0
+    update_index = 0
+    for position, take_query in enumerate(schedule):
+        timestamp = float(position + 1)
+        if take_query and query_index < len(queries):
+            events.append(QueryEvent(_restamp_query(queries[query_index], timestamp)))
+            query_index += 1
+        elif update_index < len(updates):
+            events.append(UpdateEvent(_restamp_update(updates[update_index], timestamp)))
+            update_index += 1
+        else:
+            events.append(QueryEvent(_restamp_query(queries[query_index], timestamp)))
+            query_index += 1
+    return Trace(events)
+
+
+def _uniform_schedule(query_count: int, update_count: int) -> List[bool]:
+    """Evenly interleave two stream lengths (True = query slot)."""
+    total = query_count + update_count
+    if total == 0:
+        return []
+    if query_count == 0:
+        return [False] * total
+    if update_count == 0:
+        return [True] * total
+    schedule: List[bool] = []
+    query_taken = 0
+    update_taken = 0
+    for position in range(total):
+        # Take from whichever stream is behind its proportional pace.
+        query_pace = (query_taken + 1) / query_count
+        update_pace = (update_taken + 1) / update_count
+        if query_taken < query_count and (update_taken >= update_count or query_pace <= update_pace):
+            schedule.append(True)
+            query_taken += 1
+        else:
+            schedule.append(False)
+            update_taken += 1
+    return schedule

@@ -1,0 +1,239 @@
+"""Trace model: interleaved sequences of query and update events.
+
+A *trace* is the unit the simulator consumes: a time-ordered sequence of
+events, each either a query arriving at the cache or an update arriving at
+the repository.  Events wrap the :class:`repro.repository.queries.Query` and
+:class:`repro.repository.updates.Update` domain objects and add nothing but a
+uniform ``timestamp`` / ``kind`` accessor, so policies can iterate one stream.
+
+Traces support JSONL (one event per line) round-trips so that generated
+workloads can be persisted, diffed and replayed, and slicing/statistics
+helpers used throughout the experiments and reports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.repository.queries import Query
+from repro.repository.updates import Update
+
+
+@dataclass(frozen=True)
+class QueryEvent:
+    """A query arriving at the middleware cache."""
+
+    query: Query
+
+    @property
+    def timestamp(self) -> float:
+        """Arrival time in event-sequence units."""
+        return self.query.timestamp
+
+    @property
+    def kind(self) -> str:
+        """Always ``"query"``."""
+        return "query"
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """An update arriving at the repository."""
+
+    update: Update
+
+    @property
+    def timestamp(self) -> float:
+        """Arrival time in event-sequence units."""
+        return self.update.timestamp
+
+    @property
+    def kind(self) -> str:
+        """Always ``"update"``."""
+        return "update"
+
+
+TraceEvent = Union[QueryEvent, UpdateEvent]
+
+
+class Trace:
+    """A time-ordered sequence of query and update events."""
+
+    def __init__(self, events: Iterable[TraceEvent]) -> None:
+        self._events: List[TraceEvent] = list(events)
+        for earlier, later in zip(self._events, self._events[1:]):
+            if later.timestamp < earlier.timestamp - 1e-9:
+                raise ValueError(
+                    "trace events must be ordered by timestamp; "
+                    f"{later.timestamp!r} follows {earlier.timestamp!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Sequence behaviour
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index):
+        result = self._events[index]
+        if isinstance(index, slice):
+            return Trace(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def queries(self) -> List[Query]:
+        """All queries in order."""
+        return [event.query for event in self._events if isinstance(event, QueryEvent)]
+
+    def updates(self) -> List[Update]:
+        """All updates in order."""
+        return [event.update for event in self._events if isinstance(event, UpdateEvent)]
+
+    @property
+    def query_count(self) -> int:
+        """Number of query events."""
+        return sum(1 for event in self._events if isinstance(event, QueryEvent))
+
+    @property
+    def update_count(self) -> int:
+        """Number of update events."""
+        return sum(1 for event in self._events if isinstance(event, UpdateEvent))
+
+    def slice_events(self, start: int, stop: Optional[int] = None) -> "Trace":
+        """Sub-trace by event index (used to skip the warm-up period)."""
+        return Trace(self._events[start:stop])
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def total_query_cost(self) -> float:
+        """Sum of query shipping costs (the NoCache total)."""
+        return sum(query.cost for query in self.queries())
+
+    def total_update_cost(self) -> float:
+        """Sum of update shipping costs (the Replica total, ignoring loads)."""
+        return sum(update.cost for update in self.updates())
+
+    def objects_touched(self) -> Dict[int, int]:
+        """How many events touched each object id (queries and updates)."""
+        counts: Dict[int, int] = {}
+        for event in self._events:
+            if isinstance(event, QueryEvent):
+                for object_id in event.query.object_ids:
+                    counts[object_id] = counts.get(object_id, 0) + 1
+            else:
+                object_id = event.update.object_id
+                counts[object_id] = counts.get(object_id, 0) + 1
+        return counts
+
+    def query_hotspots(self, top: int = 10) -> List[Tuple[int, int]]:
+        """The ``top`` most-queried object ids with their access counts."""
+        counts: Dict[int, int] = {}
+        for query in self.queries():
+            for object_id in query.object_ids:
+                counts[object_id] = counts.get(object_id, 0) + 1
+        return sorted(counts.items(), key=lambda item: item[1], reverse=True)[:top]
+
+    def update_hotspots(self, top: int = 10) -> List[Tuple[int, int]]:
+        """The ``top`` most-updated object ids with their update counts."""
+        counts: Dict[int, int] = {}
+        for update in self.updates():
+            counts[update.object_id] = counts.get(update.object_id, 0) + 1
+        return sorted(counts.items(), key=lambda item: item[1], reverse=True)[:top]
+
+    def describe(self) -> Dict[str, float]:
+        """Summary statistics for reports."""
+        return {
+            "events": float(len(self._events)),
+            "queries": float(self.query_count),
+            "updates": float(self.update_count),
+            "total_query_cost": self.total_query_cost(),
+            "total_update_cost": self.total_update_cost(),
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence (JSONL)
+    # ------------------------------------------------------------------
+    def to_jsonl(self, path: Union[str, Path]) -> None:
+        """Write the trace to a JSONL file, one event per line."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for event in self._events:
+                handle.write(json.dumps(_event_to_dict(event)) + "\n")
+
+    @staticmethod
+    def from_jsonl(path: Union[str, Path]) -> "Trace":
+        """Read a trace previously written with :meth:`to_jsonl`."""
+        path = Path(path)
+        events: List[TraceEvent] = []
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                events.append(_event_from_dict(json.loads(line)))
+        return Trace(events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace(events={len(self._events)}, queries={self.query_count}, updates={self.update_count})"
+
+
+def _event_to_dict(event: TraceEvent) -> Dict:
+    """Serialise one event to a plain dict."""
+    if isinstance(event, QueryEvent):
+        query = event.query
+        return {
+            "kind": "query",
+            "query_id": query.query_id,
+            "object_ids": sorted(query.object_ids),
+            "cost": query.cost,
+            "timestamp": query.timestamp,
+            "tolerance": query.tolerance,
+            "template": query.template,
+        }
+    update = event.update
+    return {
+        "kind": "update",
+        "update_id": update.update_id,
+        "object_id": update.object_id,
+        "cost": update.cost,
+        "timestamp": update.timestamp,
+        "update_kind": update.kind,
+        "rows": update.rows,
+    }
+
+
+def _event_from_dict(payload: Dict) -> TraceEvent:
+    """Deserialise one event from a plain dict."""
+    kind = payload.get("kind")
+    if kind == "query":
+        return QueryEvent(
+            Query(
+                query_id=int(payload["query_id"]),
+                object_ids=frozenset(int(oid) for oid in payload["object_ids"]),
+                cost=float(payload["cost"]),
+                timestamp=float(payload["timestamp"]),
+                tolerance=float(payload.get("tolerance", 0.0)),
+                template=payload.get("template", "selection"),
+            )
+        )
+    if kind == "update":
+        return UpdateEvent(
+            Update(
+                update_id=int(payload["update_id"]),
+                object_id=int(payload["object_id"]),
+                cost=float(payload["cost"]),
+                timestamp=float(payload["timestamp"]),
+                kind=payload.get("update_kind", "insert"),
+                rows=int(payload.get("rows", 0)),
+            )
+        )
+    raise ValueError(f"unknown event kind {kind!r}")

@@ -1,0 +1,188 @@
+"""Survey update trace generator.
+
+The paper simulates the update stream of Pan-STARRS/LSST-class surveys in
+consultation with astronomers (Section 6.1): telescopes scan the sky along
+great circles in a coordinated, systematic fashion, so updates are clustered
+by sky region; the size of an update is proportional to the density of the
+data object it hits; the total update traffic is calibrated to ~100 GB/day.
+
+:class:`SurveyUpdateGenerator` reproduces those properties on top of the same
+object catalogue the query generator uses.  Update *hotspots* are the objects
+the current scan passes through, so they are spatially clustered and -- by
+construction, because the query generator excludes them from its focus sets --
+largely disjoint from query hotspots, as Figure 7(a) shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.repository.objects import ObjectCatalog
+from repro.repository.updates import Update, UpdateIdAllocator, UpdateKind
+
+
+@dataclass
+class UpdateWorkloadConfig:
+    """Tunable knobs of the update generator."""
+
+    #: Number of updates to generate.
+    update_count: int = 5000
+    #: Target total update traffic (MB) across the trace; individual update
+    #: costs are scaled so the generated trace lands near this figure.
+    #: ``None`` disables rescaling.
+    target_total_cost: Optional[float] = None
+    #: Number of consecutive updates produced by one scan before the scan moves.
+    scan_length: int = 250
+    #: Number of adjacent objects a single scan sweeps over.
+    scan_width: int = 6
+    #: Probability that an update falls inside the current scan (vs. anywhere).
+    scan_probability: float = 0.9
+    #: Fraction of the sky (contiguous in object-id order) the survey is
+    #: currently observing; scans wander only inside this region, which is
+    #: what makes update hotspots persistent and distinct from query hotspots
+    #: (Figure 7a).  ``1.0`` lets scans roam the whole sky.
+    region_fraction: float = 0.35
+    #: Fraction of updates that modify existing rows instead of inserting.
+    modify_fraction: float = 0.05
+    #: Mean rows per update (bookkeeping only).
+    mean_rows: int = 2000
+    #: RNG seed.
+    seed: int = 1234
+
+
+class SurveyUpdateGenerator:
+    """Generator of spatially clustered, density-weighted update streams."""
+
+    def __init__(
+        self, catalog: ObjectCatalog, config: Optional[UpdateWorkloadConfig] = None
+    ) -> None:
+        self._catalog = catalog
+        self._config = config or UpdateWorkloadConfig()
+        if not 0.0 < self._config.region_fraction <= 1.0:
+            raise ValueError("region_fraction must lie in (0, 1]")
+        self._rng = np.random.default_rng(self._config.seed)
+        self._allocator = UpdateIdAllocator(start=1)
+        # The contiguous object-id region the survey currently observes.
+        object_ids = catalog.object_ids
+        region_size = max(
+            min(self._config.scan_width, len(object_ids)),
+            int(round(len(object_ids) * self._config.region_fraction)),
+        )
+        region_start = int(self._rng.integers(0, len(object_ids)))
+        self._region = [
+            object_ids[(region_start + offset) % len(object_ids)] for offset in range(region_size)
+        ]
+        self._scan_anchor_index = 0
+        self._scan_position = 0
+        self._scan_objects: List[int] = []
+        self._advance_scan()
+
+    @property
+    def config(self) -> UpdateWorkloadConfig:
+        """The generator's configuration."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Scan management
+    # ------------------------------------------------------------------
+    def _advance_scan(self) -> None:
+        """Move the telescope to the next scan stripe.
+
+        Scans progress systematically across the observed region: the anchor
+        advances by roughly one stripe width each time, wrapping around inside
+        the region, as a survey would repeatedly tile its current footprint.
+        """
+        width = min(self._config.scan_width, len(self._region))
+        start = self._scan_anchor_index % len(self._region)
+        self._scan_objects = [
+            self._region[(start + offset) % len(self._region)] for offset in range(width)
+        ]
+        self._scan_anchor_index = (start + width) % len(self._region)
+        self._scan_position = 0
+
+    def current_scan(self) -> List[int]:
+        """Object ids covered by the current scan stripe."""
+        return list(self._scan_objects)
+
+    @property
+    def observed_region(self) -> List[int]:
+        """Object ids of the region the survey is currently observing."""
+        return list(self._region)
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def _next_object(self) -> int:
+        if self._scan_position >= self._config.scan_length:
+            self._advance_scan()
+        self._scan_position += 1
+        if self._rng.random() < self._config.scan_probability:
+            return int(self._rng.choice(self._scan_objects))
+        return int(self._rng.choice(self._catalog.object_ids))
+
+    def generate(self, timestamps: Optional[Sequence[float]] = None) -> List[Update]:
+        """Generate the configured number of updates.
+
+        Parameters
+        ----------
+        timestamps:
+            Optional arrival times, one per update; defaults to 1, 2, 3, ...
+            (the mixer re-stamps them when interleaving with queries).
+        """
+        config = self._config
+        count = config.update_count
+        if timestamps is not None and len(timestamps) != count:
+            raise ValueError(f"got {len(timestamps)} timestamps for {count} updates")
+
+        densities = self._catalog.densities()
+        object_choices = [self._next_object() for _ in range(count)]
+        # Update size ~ density of the object times a log-normal wobble.
+        raw_costs = np.array(
+            [
+                densities[object_id] * float(self._rng.lognormal(0.0, 0.5))
+                for object_id in object_choices
+            ],
+            dtype=float,
+        )
+        if config.target_total_cost is not None and raw_costs.sum() > 0:
+            raw_costs *= config.target_total_cost / raw_costs.sum()
+
+        updates: List[Update] = []
+        for index, (object_id, cost) in enumerate(zip(object_choices, raw_costs)):
+            kind = (
+                UpdateKind.MODIFY
+                if self._rng.random() < config.modify_fraction
+                else UpdateKind.INSERT
+            )
+            rows = int(max(1, self._rng.poisson(config.mean_rows)))
+            timestamp = float(timestamps[index]) if timestamps is not None else float(index + 1)
+            updates.append(
+                Update(
+                    update_id=self._allocator.next_id(),
+                    object_id=object_id,
+                    cost=float(cost),
+                    timestamp=timestamp,
+                    kind=kind,
+                    rows=rows,
+                )
+            )
+        return updates
+
+    def stream(self) -> Iterator[Update]:
+        """Generate updates lazily (default timestamps)."""
+        for update in self.generate():
+            yield update
+
+    def hotspot_objects(self, top: Optional[int] = None) -> List[int]:
+        """Objects most likely to receive updates: the observed region.
+
+        Used by experiment setup code to tell the query generator which
+        objects to exclude from *its* hotspots so that the two streams have
+        distinct hotspots, as in the paper's Figure 7(a).
+        """
+        if top is None or top >= len(self._region):
+            return list(self._region)
+        return list(self._region[:top])

@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.network.link import NetworkLink
+from repro.repository.objects import DataObject, ObjectCatalog
+from repro.repository.queries import Query
+from repro.repository.server import Repository
+from repro.repository.updates import Update
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded NumPy generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def py_rng() -> random.Random:
+    """A seeded stdlib generator."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def small_catalog() -> ObjectCatalog:
+    """Five objects of assorted sizes totalling 100 MB."""
+    return ObjectCatalog(
+        [
+            DataObject(object_id=1, size=10.0, density=1.0),
+            DataObject(object_id=2, size=20.0, density=2.0),
+            DataObject(object_id=3, size=30.0, density=3.0),
+            DataObject(object_id=4, size=15.0, density=1.5),
+            DataObject(object_id=5, size=25.0, density=2.5),
+        ]
+    )
+
+
+@pytest.fixture
+def repository(small_catalog: ObjectCatalog) -> Repository:
+    """A repository over the small catalogue."""
+    return Repository(small_catalog)
+
+
+@pytest.fixture
+def link() -> NetworkLink:
+    """A traffic ledger with per-transfer records enabled."""
+    return NetworkLink(keep_records=True)
+
+
+def make_query(
+    query_id: int,
+    object_ids,
+    cost: float,
+    timestamp: float,
+    tolerance: float = 0.0,
+) -> Query:
+    """Convenience query constructor used across test modules."""
+    return Query(
+        query_id=query_id,
+        object_ids=frozenset(object_ids),
+        cost=cost,
+        timestamp=timestamp,
+        tolerance=tolerance,
+    )
+
+
+def make_update(update_id: int, object_id: int, cost: float, timestamp: float) -> Update:
+    """Convenience update constructor used across test modules."""
+    return Update(update_id=update_id, object_id=object_id, cost=cost, timestamp=timestamp)

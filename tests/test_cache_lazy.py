@@ -1,0 +1,110 @@
+"""Tests for the lazy admission wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.gds import GreedyDualSize
+from repro.cache.lazy import LazyAdmission
+from repro.cache.store import CacheStore
+
+
+def make_lazy(capacity: float = 100.0):
+    store = CacheStore(capacity)
+    policy = GreedyDualSize()
+    return LazyAdmission(policy, store), store, policy
+
+
+class TestIntentCollection:
+    def test_request_records_pending(self):
+        lazy, _, _ = make_lazy()
+        lazy.request(1, size=10.0, cost=10.0, timestamp=0.0)
+        assert lazy.pending_count == 1
+        assert lazy.pending_ids() == {1}
+
+    def test_duplicate_requests_merge_keeping_larger_cost(self):
+        lazy, _, _ = make_lazy()
+        lazy.request(1, size=10.0, cost=5.0, timestamp=0.0)
+        lazy.request(1, size=10.0, cost=12.0, timestamp=1.0)
+        assert lazy.pending_count == 1
+        plan = lazy.flush()
+        assert plan.loads[0].cost == pytest.approx(12.0)
+
+    def test_request_for_resident_object_becomes_hit(self):
+        lazy, store, policy = make_lazy()
+        store.insert(1, size=10.0, version=0, timestamp=0.0)
+        policy.on_load(1, size=10.0, cost=10.0, timestamp=0.0)
+        before = policy.priority(1)
+        lazy.request(1, size=10.0, cost=10.0, timestamp=1.0)
+        assert lazy.pending_count == 0
+        assert policy.priority(1) >= before
+
+    def test_clear_drops_intents(self):
+        lazy, _, _ = make_lazy()
+        lazy.request(1, size=10.0, cost=10.0, timestamp=0.0)
+        lazy.clear()
+        assert lazy.flush().loads == []
+
+
+class TestFlush:
+    def test_flush_empty_returns_empty_plan(self):
+        lazy, _, _ = make_lazy()
+        plan = lazy.flush()
+        assert plan.loads == [] and plan.evictions == [] and plan.skipped == []
+
+    def test_flush_admits_objects_that_fit(self):
+        lazy, _, _ = make_lazy(capacity=50.0)
+        lazy.request(1, size=20.0, cost=20.0, timestamp=0.0)
+        lazy.request(2, size=20.0, cost=20.0, timestamp=0.0)
+        plan = lazy.flush()
+        assert set(plan.load_ids) == {1, 2}
+        assert plan.evictions == []
+
+    def test_flush_skips_object_larger_than_cache(self):
+        lazy, _, _ = make_lazy(capacity=50.0)
+        lazy.request(1, size=80.0, cost=80.0, timestamp=0.0)
+        plan = lazy.flush()
+        assert plan.loads == []
+        assert [intent.object_id for intent in plan.skipped] == [1]
+
+    def test_flush_plans_evictions_to_make_room(self):
+        lazy, store, policy = make_lazy(capacity=50.0)
+        store.insert(9, size=40.0, version=0, timestamp=0.0)
+        policy.on_load(9, size=40.0, cost=1.0, timestamp=0.0)
+        lazy.request(1, size=30.0, cost=300.0, timestamp=1.0)
+        plan = lazy.flush()
+        assert plan.load_ids == [1]
+        assert plan.evictions == [9]
+
+    def test_flush_prefers_higher_density_candidates(self):
+        """With room for only one candidate, the denser one wins."""
+        lazy, _, _ = make_lazy(capacity=25.0)
+        lazy.request(1, size=20.0, cost=10.0, timestamp=0.0)
+        lazy.request(2, size=20.0, cost=100.0, timestamp=0.0)
+        plan = lazy.flush()
+        assert plan.load_ids == [2]
+        assert [intent.object_id for intent in plan.skipped] == [1]
+
+    def test_flush_does_not_mutate_store(self):
+        lazy, store, _ = make_lazy(capacity=100.0)
+        lazy.request(1, size=10.0, cost=10.0, timestamp=0.0)
+        lazy.flush()
+        assert len(store) == 0
+
+    def test_pending_cleared_after_flush(self):
+        lazy, _, _ = make_lazy()
+        lazy.request(1, size=10.0, cost=10.0, timestamp=0.0)
+        lazy.flush()
+        assert lazy.pending_count == 0
+
+    def test_batch_within_one_query_avoids_useless_churn(self):
+        """Candidates from one batch never plan to evict each other."""
+        lazy, _, _ = make_lazy(capacity=30.0)
+        lazy.request(1, size=20.0, cost=40.0, timestamp=0.0)
+        lazy.request(2, size=20.0, cost=60.0, timestamp=0.0)
+        plan = lazy.flush()
+        # Only one of them can be admitted; the other is skipped, NOT loaded
+        # and then immediately evicted.
+        assert len(plan.load_ids) == 1
+        assert len(plan.skipped) == 1
+        assert plan.evictions == []

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workload.trace import Trace
+
+#: Small scenario arguments shared by the CLI tests to keep them fast.
+SMALL = ["--objects", "20", "--queries", "400", "--updates", "400", "--seed", "3"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "oracle"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.objects == 68
+        assert args.cache == pytest.approx(0.3)
+
+
+class TestGenerateTrace:
+    def test_writes_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        code = main(["generate-trace", *SMALL, "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        trace = Trace.from_jsonl(out)
+        assert len(trace) == 800
+        captured = capsys.readouterr().out
+        assert "wrote 800 events" in captured
+
+    def test_characterise_flag(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        main(["generate-trace", *SMALL, "--out", str(out), "--characterise"])
+        assert "query hotspots" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_generated_scenario(self, capsys):
+        code = main(["run", *SMALL, "--policy", "nocache"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "policy           : nocache" in output
+        assert "total traffic" in output
+
+    def test_run_from_trace_file(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        main(["generate-trace", *SMALL, "--out", str(out)])
+        capsys.readouterr()
+        code = main(["run", *SMALL, "--policy", "vcover", "--trace", str(out)])
+        assert code == 0
+        assert "query_shipping" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_subset_of_policies(self, capsys):
+        code = main(["compare", *SMALL, "--policies", "nocache", "vcover"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "nocache" in output and "vcover" in output
+        assert "nocache_over_vcover" in output
+
+    def test_compare_default_runs_all(self, capsys):
+        code = main(["compare", *SMALL])
+        assert code == 0
+        output = capsys.readouterr().out
+        for policy in ("nocache", "replica", "benefit", "vcover", "soptimal"):
+            assert policy in output

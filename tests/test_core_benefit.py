@@ -1,0 +1,137 @@
+"""Tests for the Benefit (exponential-smoothing greedy) baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.benefit import BenefitConfig, BenefitPolicy
+from repro.network.link import NetworkLink
+from repro.repository.objects import ObjectCatalog
+from repro.repository.server import Repository
+from tests.conftest import make_query, make_update
+
+
+def make_benefit(capacity=60.0, window_size=4, alpha=0.5):
+    catalog = ObjectCatalog.from_sizes({1: 10.0, 2: 20.0, 3: 30.0, 4: 15.0})
+    repository = Repository(catalog)
+    link = NetworkLink()
+    policy = BenefitPolicy(
+        repository, capacity, link, BenefitConfig(window_size=window_size, alpha=alpha)
+    )
+    return policy, repository, link
+
+
+def feed_update(policy, repository, update):
+    repository.ingest_update(update)
+    policy.on_update(update)
+
+
+class TestConfig:
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            BenefitConfig(window_size=0)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            BenefitConfig(alpha=1.5)
+
+
+class TestQueryHandling:
+    def test_queries_shipped_while_cache_empty(self):
+        policy, _, link = make_benefit()
+        outcome = policy.on_query(make_query(1, object_ids=[1], cost=5.0, timestamp=1.0))
+        assert not outcome.answered_at_cache
+        assert link.total_cost == pytest.approx(5.0)
+
+    def test_hot_object_loaded_at_window_boundary(self):
+        policy, _, _ = make_benefit(window_size=3)
+        # Three expensive queries on object 1 (size 10) within one window.
+        for step in range(1, 4):
+            policy.on_query(make_query(step, object_ids=[1], cost=20.0, timestamp=float(step)))
+        assert policy.window_index == 1
+        assert policy.is_resident(1)
+        assert policy.forecast_of(1) > 0
+
+    def test_resident_hot_object_answers_queries(self):
+        policy, _, link = make_benefit(window_size=3)
+        for step in range(1, 4):
+            policy.on_query(make_query(step, object_ids=[1], cost=20.0, timestamp=float(step)))
+        before = link.total_cost
+        outcome = policy.on_query(make_query(9, object_ids=[1], cost=20.0, timestamp=5.0))
+        assert outcome.answered_at_cache
+        assert link.total_cost == pytest.approx(before)
+
+    def test_cold_object_never_loaded(self):
+        policy, _, _ = make_benefit(window_size=3)
+        for step in range(1, 7):
+            policy.on_query(make_query(step, object_ids=[2], cost=0.1, timestamp=float(step)))
+        assert not policy.is_resident(2)
+
+
+class TestUpdateHandling:
+    def test_updates_for_resident_objects_shipped_eagerly(self):
+        policy, repository, link = make_benefit(window_size=3)
+        for step in range(1, 4):
+            policy.on_query(make_query(step, object_ids=[1], cost=20.0, timestamp=float(step)))
+        assert policy.is_resident(1)
+        before = link.total_by_mechanism()["update_shipping"]
+        feed_update(policy, repository, make_update(1, object_id=1, cost=2.5, timestamp=5.0))
+        assert link.total_by_mechanism()["update_shipping"] == pytest.approx(before + 2.5)
+        assert not policy.store.get(1).stale
+
+    def test_updates_for_non_resident_objects_not_shipped(self):
+        policy, repository, link = make_benefit()
+        feed_update(policy, repository, make_update(1, object_id=3, cost=2.5, timestamp=1.0))
+        assert link.total_by_mechanism()["update_shipping"] == pytest.approx(0.0)
+
+    def test_update_heavy_object_evicted_at_replan(self):
+        policy, repository, _ = make_benefit(window_size=4, alpha=1.0)
+        # Window 1: object 1 looks great -> loaded.
+        for step in range(1, 5):
+            policy.on_query(make_query(step, object_ids=[1], cost=30.0, timestamp=float(step)))
+        assert policy.is_resident(1)
+        # Window 2: object 1 receives heavy updates and no query traffic.
+        for step in range(5, 9):
+            feed_update(
+                policy, repository, make_update(step, object_id=1, cost=25.0, timestamp=float(step))
+            )
+        assert policy.window_index == 2
+        assert not policy.is_resident(1)
+
+    def test_forecast_smoothing_uses_alpha(self):
+        policy, _, _ = make_benefit(window_size=2, alpha=0.5)
+        policy.on_query(make_query(1, object_ids=[1], cost=40.0, timestamp=1.0))
+        policy.on_query(make_query(2, object_ids=[1], cost=40.0, timestamp=2.0))
+        first_forecast = policy.forecast_of(1)
+        # Quiet window: benefit of resident object 1 is zero, forecast decays.
+        policy.on_query(make_query(3, object_ids=[4], cost=0.1, timestamp=3.0))
+        policy.on_query(make_query(4, object_ids=[4], cost=0.1, timestamp=4.0))
+        assert 0 < policy.forecast_of(1) < first_forecast
+
+
+class TestWindowAccounting:
+    def test_window_counter_advances_on_all_events(self):
+        policy, repository, _ = make_benefit(window_size=4)
+        policy.on_query(make_query(1, object_ids=[1], cost=1.0, timestamp=1.0))
+        feed_update(policy, repository, make_update(1, object_id=2, cost=1.0, timestamp=2.0))
+        policy.on_query(make_query(2, object_ids=[1], cost=1.0, timestamp=3.0))
+        feed_update(policy, repository, make_update(2, object_id=2, cost=1.0, timestamp=4.0))
+        assert policy.window_index == 1
+
+    def test_cache_capacity_respected_at_replan(self):
+        policy, _, _ = make_benefit(capacity=25.0, window_size=4)
+        # Both objects 1 (10) and 2 (20) look attractive but only one fits.
+        for step in range(1, 5):
+            object_id = 1 if step % 2 else 2
+            policy.on_query(
+                make_query(step, object_ids=[object_id], cost=50.0, timestamp=float(step))
+            )
+        assert policy.store.used <= 25.0 + 1e-9
+
+    def test_stats_include_window_counters(self):
+        policy, _, _ = make_benefit(window_size=2)
+        policy.on_query(make_query(1, object_ids=[1], cost=1.0, timestamp=1.0))
+        policy.on_query(make_query(2, object_ids=[1], cost=1.0, timestamp=2.0))
+        stats = policy.stats()
+        assert stats["windows_completed"] == 1
+        assert "positive_forecasts" in stats

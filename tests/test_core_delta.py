@@ -1,0 +1,85 @@
+"""Tests for the Delta middleware facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.delta import Delta, DeltaConfig
+from repro.core.vcover import VCoverPolicy
+from repro.core.yardsticks import NoCachePolicy, ReplicaPolicy
+from repro.network.cost import LinearCostModel
+from repro.repository.objects import ObjectCatalog
+from tests.conftest import make_query, make_update
+
+
+@pytest.fixture
+def catalog():
+    return ObjectCatalog.from_sizes({1: 10.0, 2: 20.0, 3: 30.0, 4: 40.0})
+
+
+class TestConfig:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            DeltaConfig(policy="oracle")
+
+    def test_default_policy_is_vcover(self, catalog):
+        delta = Delta(catalog)
+        assert isinstance(delta.policy, VCoverPolicy)
+        assert delta.config.cache_fraction == pytest.approx(0.3)
+
+    @pytest.mark.parametrize(
+        "name,cls", [("nocache", NoCachePolicy), ("replica", ReplicaPolicy)]
+    )
+    def test_policy_selection_by_name(self, catalog, name, cls):
+        delta = Delta(catalog, DeltaConfig(policy=name))
+        assert isinstance(delta.policy, cls)
+
+    def test_absolute_capacity_overrides_fraction(self, catalog):
+        delta = Delta(catalog, DeltaConfig(cache_capacity=12.0, cache_fraction=0.9))
+        assert delta.policy.store.capacity == pytest.approx(12.0)
+
+    def test_fractional_capacity_derived_from_catalog(self, catalog):
+        delta = Delta(catalog, DeltaConfig(cache_fraction=0.5))
+        assert delta.policy.store.capacity == pytest.approx(50.0)
+
+
+class TestOperation:
+    def test_update_then_query_round_trip(self, catalog):
+        delta = Delta(catalog, DeltaConfig(policy="vcover"))
+        delta.ingest_update(make_update(1, object_id=1, cost=2.0, timestamp=1.0))
+        outcome = delta.submit_query(make_query(1, object_ids=[1], cost=5.0, timestamp=2.0))
+        assert outcome.query_id == 1
+        report = delta.traffic_report()
+        assert report["total"] == pytest.approx(outcome.total_cost)
+
+    def test_traffic_report_breakdown_keys(self, catalog):
+        delta = Delta(catalog)
+        delta.submit_query(make_query(1, object_ids=[1], cost=5.0, timestamp=1.0))
+        report = delta.traffic_report()
+        assert {"total", "query_shipping", "update_shipping", "object_loading"} <= set(report)
+
+    def test_cache_report_counts_events(self, catalog):
+        delta = Delta(catalog)
+        delta.ingest_update(make_update(1, object_id=2, cost=1.0, timestamp=1.0))
+        delta.submit_query(make_query(1, object_ids=[2], cost=1.0, timestamp=2.0))
+        report = delta.cache_report()
+        assert report["queries_processed"] == 1
+        assert report["updates_processed"] == 1
+
+    def test_custom_cost_model_scales_traffic(self, catalog):
+        delta = Delta(catalog, cost_model=LinearCostModel(factor=2.0))
+        delta.submit_query(make_query(1, object_ids=[1], cost=5.0, timestamp=1.0))
+        assert delta.traffic_report()["total"] == pytest.approx(10.0)
+
+    def test_repository_receives_updates(self, catalog):
+        delta = Delta(catalog)
+        delta.ingest_update(make_update(1, object_id=3, cost=7.0, timestamp=1.0))
+        assert delta.repository.object_version(3) == 1
+        assert delta.repository.object_size(3) == pytest.approx(37.0)
+
+    def test_replica_deployment_is_always_current(self, catalog):
+        delta = Delta(catalog, DeltaConfig(policy="replica"))
+        delta.ingest_update(make_update(1, object_id=1, cost=2.0, timestamp=1.0))
+        outcome = delta.submit_query(make_query(1, object_ids=[1], cost=5.0, timestamp=2.0))
+        assert outcome.answered_at_cache
+        assert delta.traffic_report()["update_shipping"] == pytest.approx(2.0)

@@ -1,0 +1,134 @@
+"""Tests for the LoadManager (randomized and counter-based loading)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache.gds import GreedyDualSize
+from repro.cache.store import CacheStore
+from repro.core.load_manager import LoadManager
+from tests.conftest import make_query
+
+
+def make_manager(capacity=100.0, sizes=None, randomized=True, seed=0):
+    sizes = sizes or {1: 10.0, 2: 20.0, 3: 30.0, 4: 15.0, 5: 25.0}
+    store = CacheStore(capacity)
+    manager = LoadManager(
+        store=store,
+        policy=GreedyDualSize(),
+        load_cost_of=lambda object_id: sizes[object_id],
+        rng=random.Random(seed),
+        randomized=randomized,
+    )
+    return manager, store, sizes
+
+
+class TestConstruction:
+    def test_load_cost_callback_required(self):
+        with pytest.raises(ValueError):
+            LoadManager(store=CacheStore(10.0), load_cost_of=None)
+
+
+class TestCounterVariant:
+    def test_object_loaded_only_after_cost_accumulates(self):
+        manager, _, _ = make_manager(randomized=False)
+        # Object 3 costs 30; queries of cost 10 each should take 3 arrivals.
+        decisions = []
+        for step in range(1, 4):
+            query = make_query(step, object_ids=[3], cost=10.0, timestamp=float(step))
+            decisions.append(manager.consider(query, timestamp=float(step)))
+        assert decisions[0].load_object_ids == []
+        assert decisions[1].load_object_ids == []
+        assert decisions[2].load_object_ids == [3]
+
+    def test_single_large_query_triggers_immediate_load(self):
+        manager, _, _ = make_manager(randomized=False)
+        query = make_query(1, object_ids=[1], cost=50.0, timestamp=1.0)
+        decision = manager.consider(query, timestamp=1.0)
+        assert decision.load_object_ids == [1]
+
+    def test_counter_resets_after_load(self):
+        manager, store, _ = make_manager(randomized=False)
+        query = make_query(1, object_ids=[1], cost=15.0, timestamp=1.0)
+        decision = manager.consider(query, timestamp=1.0)
+        assert decision.load_object_ids == [1]
+        store.insert(1, size=10.0, version=0, timestamp=1.0)
+        manager.note_load(1, size=10.0, timestamp=1.0)
+        # Object now resident: further queries on it do not produce loads.
+        follow_up = make_query(2, object_ids=[1], cost=15.0, timestamp=2.0)
+        assert manager.consider(follow_up, timestamp=2.0).load_object_ids == []
+
+
+class TestRandomizedVariant:
+    def test_expected_load_rate_matches_attribution(self):
+        """With cost/load ratio r, the load probability is approximately r."""
+        loads = 0
+        trials = 400
+        for seed in range(trials):
+            manager, _, _ = make_manager(randomized=True, seed=seed)
+            query = make_query(1, object_ids=[3], cost=7.5, timestamp=1.0)  # 7.5 / 30 = 0.25
+            if manager.consider(query, timestamp=1.0).load_object_ids:
+                loads += 1
+        assert 0.15 < loads / trials < 0.35
+
+    def test_full_cost_coverage_always_loads(self):
+        manager, _, _ = make_manager(randomized=True)
+        query = make_query(1, object_ids=[1], cost=10.0, timestamp=1.0)
+        assert manager.consider(query, timestamp=1.0).load_object_ids == [1]
+
+    def test_large_query_can_load_several_objects(self):
+        manager, _, _ = make_manager(randomized=True, capacity=200.0)
+        query = make_query(1, object_ids=[1, 2, 4], cost=60.0, timestamp=1.0)
+        decision = manager.consider(query, timestamp=1.0)
+        # 60 >= 10 + 20 + 15: all three are fully covered.
+        assert set(decision.load_object_ids) == {1, 2, 4}
+
+    def test_seeded_runs_are_reproducible(self):
+        first, _, _ = make_manager(randomized=True, seed=3)
+        second, _, _ = make_manager(randomized=True, seed=3)
+        query = make_query(1, object_ids=[2, 3, 5], cost=18.0, timestamp=1.0)
+        assert (
+            first.consider(query, timestamp=1.0).load_object_ids
+            == second.consider(query, timestamp=1.0).load_object_ids
+        )
+
+
+class TestCapacityInteraction:
+    def test_objects_larger_than_cache_are_never_candidates(self):
+        manager, _, _ = make_manager(capacity=20.0)
+        query = make_query(1, object_ids=[3], cost=100.0, timestamp=1.0)  # size 30 > 20
+        decision = manager.consider(query, timestamp=1.0)
+        assert decision.load_object_ids == []
+
+    def test_eviction_planned_when_cache_full(self):
+        manager, store, _ = make_manager(capacity=25.0, randomized=False)
+        store.insert(1, size=10.0, version=0, timestamp=0.0)
+        manager.note_load(1, size=10.0, timestamp=0.0)
+        query = make_query(1, object_ids=[2], cost=40.0, timestamp=1.0)  # object 2 size 20
+        decision = manager.consider(query, timestamp=1.0)
+        assert decision.load_object_ids == [2]
+        assert decision.evict_object_ids == [1]
+
+    def test_resident_objects_not_reconsidered(self):
+        manager, store, _ = make_manager()
+        store.insert(1, size=10.0, version=0, timestamp=0.0)
+        manager.note_load(1, size=10.0, timestamp=0.0)
+        query = make_query(1, object_ids=[1], cost=100.0, timestamp=1.0)
+        assert manager.consider(query, timestamp=1.0).load_object_ids == []
+
+    def test_note_hit_refreshes_resident_objects_only(self):
+        manager, store, _ = make_manager()
+        store.insert(1, size=10.0, version=0, timestamp=0.0)
+        manager.note_load(1, size=10.0, timestamp=0.0)
+        query = make_query(1, object_ids=[1, 2], cost=1.0, timestamp=1.0)
+        manager.note_hit(query)  # must not raise for the non-resident object 2
+
+    def test_stats(self):
+        manager, _, _ = make_manager(randomized=False)
+        query = make_query(1, object_ids=[1], cost=50.0, timestamp=1.0)
+        manager.consider(query, timestamp=1.0)
+        stats = manager.stats()
+        assert stats["invocations"] == 1
+        assert stats["candidates_emitted"] == 1

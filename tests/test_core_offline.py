@@ -1,0 +1,130 @@
+"""Tests for the offline optimal decoupling, including the paper's worked example."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.offline import OfflineDecoupler
+from tests.conftest import make_query, make_update
+
+
+class TestInternalGraphConstruction:
+    def test_only_fully_cached_queries_participate(self):
+        decoupler = OfflineDecoupler(cached_objects=[1])
+        queries = [
+            make_query(1, object_ids=[1], cost=5.0, timestamp=10.0),
+            make_query(2, object_ids=[1, 2], cost=5.0, timestamp=10.0),  # object 2 not cached
+        ]
+        updates = [make_update(1, object_id=1, cost=1.0, timestamp=1.0)]
+        instance = decoupler.build_instance(queries, updates)
+        assert set(instance.left_weights) == {1}
+
+    def test_updates_to_uncached_objects_ignored(self):
+        decoupler = OfflineDecoupler(cached_objects=[1])
+        queries = [make_query(1, object_ids=[1], cost=5.0, timestamp=10.0)]
+        updates = [make_update(1, object_id=2, cost=1.0, timestamp=1.0)]
+        instance = decoupler.build_instance(queries, updates)
+        assert instance.edges == frozenset()
+
+    def test_future_updates_do_not_interact(self):
+        decoupler = OfflineDecoupler(cached_objects=[1])
+        queries = [make_query(1, object_ids=[1], cost=5.0, timestamp=10.0)]
+        updates = [make_update(1, object_id=1, cost=1.0, timestamp=20.0)]
+        instance = decoupler.build_instance(queries, updates)
+        assert instance.edges == frozenset()
+
+    def test_tolerance_excludes_recent_updates(self):
+        decoupler = OfflineDecoupler(cached_objects=[1])
+        queries = [make_query(1, object_ids=[1], cost=5.0, timestamp=10.0, tolerance=3.0)]
+        updates = [
+            make_update(1, object_id=1, cost=1.0, timestamp=5.0),   # old -> interacts
+            make_update(2, object_id=1, cost=1.0, timestamp=9.0),   # recent -> tolerated
+        ]
+        instance = decoupler.build_instance(queries, updates)
+        assert instance.edges == frozenset({(1, 1)})
+
+
+class TestSolve:
+    def test_ship_cheap_updates(self):
+        decoupler = OfflineDecoupler(cached_objects=[1])
+        queries = [make_query(1, object_ids=[1], cost=10.0, timestamp=10.0)]
+        updates = [make_update(1, object_id=1, cost=2.0, timestamp=1.0)]
+        decision = decoupler.solve(queries, updates)
+        assert decision.shipped_updates == frozenset({1})
+        assert decision.shipped_queries == frozenset()
+        assert decision.total_cost == pytest.approx(2.0)
+
+    def test_ship_cheap_queries(self):
+        decoupler = OfflineDecoupler(cached_objects=[1])
+        queries = [make_query(1, object_ids=[1], cost=1.0, timestamp=10.0)]
+        updates = [make_update(1, object_id=1, cost=20.0, timestamp=1.0)]
+        decision = decoupler.solve(queries, updates)
+        assert decision.shipped_queries == frozenset({1})
+        assert decision.total_cost == pytest.approx(1.0)
+
+    def test_update_shared_by_many_queries_paid_once(self):
+        decoupler = OfflineDecoupler(cached_objects=[1])
+        queries = [
+            make_query(i, object_ids=[1], cost=4.0, timestamp=10.0) for i in range(1, 6)
+        ]
+        updates = [make_update(1, object_id=1, cost=10.0, timestamp=1.0)]
+        decision = decoupler.solve(queries, updates)
+        assert decision.shipped_updates == frozenset({1})
+        assert decision.total_cost == pytest.approx(10.0)
+
+
+class TestPaperWorkedExample:
+    """The Figure 2 example of Section 3.1, on a consistent instantiation.
+
+    The paper gives partial costs; the values below are consistent with every
+    number it does state: query q3 costs 15 GB and accesses {o1, o2, o4};
+    loading o4 plus shipping u1, u2, u4 and the query q7 totals 26 GB;
+    shipping q3, q7 and q8 instead totals 28 GB.  We instantiate the
+    remaining costs as load(o4)=10, u1=1, u2=2, u4=3, u6=12, q7=10, q8=3 and
+    verify both totals and their ordering, plus the internal-graph cover for
+    the cached objects and the effect of q8's tolerance on u5.
+    """
+
+    def _events(self):
+        queries = [
+            make_query(3, object_ids=[1, 2, 4], cost=15.0, timestamp=3.0),
+            make_query(7, object_ids=[2], cost=10.0, timestamp=7.0),
+            make_query(8, object_ids=[1, 4], cost=3.0, timestamp=8.0, tolerance=2.0),
+        ]
+        updates = [
+            make_update(1, object_id=2, cost=1.0, timestamp=1.0),
+            make_update(2, object_id=4, cost=2.0, timestamp=2.0),
+            make_update(4, object_id=4, cost=3.0, timestamp=4.0),
+            make_update(5, object_id=1, cost=4.0, timestamp=6.5),  # within q8's tolerance
+            make_update(6, object_id=2, cost=12.0, timestamp=5.0),
+        ]
+        return queries, updates
+
+    def test_loading_o4_beats_shipping_all_queries(self):
+        queries, updates = self._events()
+        cached = [1, 2, 3]
+        decoupler = OfflineDecoupler(cached_objects=cached)
+        load_choice = decoupler.evaluate_full_choice(queries, updates, load_objects={4: 10.0})
+        ship_choice = decoupler.evaluate_full_choice(queries, updates, load_objects={})
+        assert load_choice == pytest.approx(26.0)
+        assert ship_choice == pytest.approx(28.0)
+        assert load_choice < ship_choice
+
+    def test_internal_cover_ships_q7_when_its_updates_are_expensive(self):
+        """On the cached-object subgraph (u1, u6, q7) the cover ships q7.
+
+        Covering q7's interactions with updates would cost u1 + u6 = 13 GB;
+        shipping the query costs 10 GB, so the minimum-weight cover picks q7.
+        """
+        queries, updates = self._events()
+        decoupler = OfflineDecoupler(cached_objects=[1, 2, 3])
+        decision = decoupler.solve([queries[1]], updates)
+        assert decision.shipped_queries == frozenset({7})
+        assert decision.total_cost == pytest.approx(10.0)
+
+    def test_tolerance_of_q8_excludes_u5(self):
+        queries, updates = self._events()
+        decoupler = OfflineDecoupler(cached_objects=[1, 2, 3, 4])
+        instance = decoupler.build_instance([queries[2]], updates)
+        interacting_updates = {right for _, right in instance.edges}
+        assert 5 not in interacting_updates

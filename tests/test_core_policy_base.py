@@ -1,0 +1,180 @@
+"""Tests for the shared policy bookkeeping (BaseCachePolicy) and outcome types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decoupling import DecouplingDecision, QueryAction, QueryOutcome
+from repro.core.policy import BaseCachePolicy
+from repro.network.link import NetworkLink
+from repro.repository.server import Repository
+from tests.conftest import make_query, make_update
+
+
+class _Concrete(BaseCachePolicy):
+    """Minimal concrete policy used to exercise the base class."""
+
+    name = "concrete"
+
+    def on_update(self, update):
+        self._register_update(update)
+
+    def on_query(self, query):
+        cost = self.ship_query(query)
+        return QueryOutcome(
+            query_id=query.query_id,
+            action=QueryAction.SHIPPED_TO_SERVER,
+            query_shipping_cost=cost,
+        )
+
+
+@pytest.fixture
+def policy(repository, link):
+    return _Concrete(repository, capacity=60.0, link=link)
+
+
+class TestQueryOutcome:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            QueryOutcome(query_id=1, action="guessed")
+
+    def test_total_cost_sums_components(self):
+        outcome = QueryOutcome(
+            query_id=1,
+            action=QueryAction.ANSWERED_AT_CACHE,
+            query_shipping_cost=1.0,
+            update_shipping_cost=2.0,
+            load_cost=3.0,
+        )
+        assert outcome.total_cost == pytest.approx(6.0)
+        assert outcome.answered_at_cache
+
+    def test_decoupling_decision_membership(self):
+        decision = DecouplingDecision(cached_objects=frozenset({1, 2}), estimated_cost=3.0)
+        assert decision.caches(1)
+        assert not decision.caches(5)
+
+
+class TestLoadingAndEviction:
+    def test_load_object_charges_current_size(self, policy, repository, link):
+        repository.ingest_update(make_update(1, object_id=1, cost=5.0, timestamp=0.0))
+        cost = policy.load_object(1, timestamp=1.0)
+        assert cost == pytest.approx(15.0)
+        assert link.total_by_mechanism()["object_loading"] == pytest.approx(15.0)
+        assert policy.is_resident(1)
+
+    def test_load_without_charging(self, policy, link):
+        policy.load_object(1, timestamp=0.0, charge=False)
+        assert link.total_cost == pytest.approx(0.0)
+        assert policy.is_resident(1)
+
+    def test_loaded_object_is_fresh(self, policy, repository):
+        repository.ingest_update(make_update(1, object_id=2, cost=1.0, timestamp=0.0))
+        policy.load_object(2, timestamp=1.0)
+        assert policy.outstanding_updates(2) == []
+        assert not policy.store.get(2).stale
+
+    def test_evict_frees_space_and_forgets_outstanding(self, policy):
+        policy.load_object(1, timestamp=0.0)
+        policy.on_update(make_update(1, object_id=1, cost=2.0, timestamp=1.0))
+        assert policy.outstanding_updates(1)
+        freed = policy.evict_object(1)
+        assert freed == pytest.approx(10.0)
+        assert policy.outstanding_updates(1) == []
+        assert not policy.is_resident(1)
+
+
+class TestUpdateBookkeeping:
+    def test_update_on_resident_object_marks_stale(self, policy):
+        policy.load_object(1, timestamp=0.0)
+        policy.on_update(make_update(1, object_id=1, cost=2.0, timestamp=1.0))
+        assert policy.store.get(1).stale
+        assert len(policy.outstanding_updates(1)) == 1
+
+    def test_update_on_non_resident_object_not_tracked(self, policy):
+        policy.on_update(make_update(1, object_id=1, cost=2.0, timestamp=1.0))
+        assert policy.outstanding_updates(1) == []
+
+    def test_ship_update_charges_and_freshens(self, policy, repository, link):
+        policy.load_object(1, timestamp=0.0)
+        update = make_update(1, object_id=1, cost=2.0, timestamp=1.0)
+        repository.ingest_update(update)
+        policy.on_update(update)
+        cost = policy.ship_update(update, timestamp=2.0)
+        assert cost == pytest.approx(2.0)
+        assert link.total_by_mechanism()["update_shipping"] == pytest.approx(2.0)
+        assert not policy.store.get(1).stale
+        assert policy.outstanding_updates(1) == []
+
+    def test_ship_update_not_outstanding_raises(self, policy):
+        policy.load_object(1, timestamp=0.0)
+        with pytest.raises(ValueError):
+            policy.ship_update(make_update(9, object_id=1, cost=1.0, timestamp=0.0), timestamp=1.0)
+
+    def test_partial_shipping_keeps_object_stale(self, policy, repository):
+        policy.load_object(1, timestamp=0.0)
+        first = make_update(1, object_id=1, cost=2.0, timestamp=1.0)
+        second = make_update(2, object_id=1, cost=2.0, timestamp=2.0)
+        for update in (first, second):
+            repository.ingest_update(update)
+            policy.on_update(update)
+        policy.ship_update(first, timestamp=3.0)
+        assert policy.store.get(1).stale
+        assert len(policy.outstanding_updates(1)) == 1
+
+    def test_ship_all_outstanding(self, policy, repository):
+        policy.load_object(1, timestamp=0.0)
+        for i in range(3):
+            update = make_update(i, object_id=1, cost=1.5, timestamp=float(i))
+            repository.ingest_update(update)
+            policy.on_update(update)
+        total = policy.ship_all_outstanding(1, timestamp=5.0)
+        assert total == pytest.approx(4.5)
+        assert policy.outstanding_updates(1) == []
+
+
+class TestCurrencyReasoning:
+    def test_cache_satisfies_requires_residency(self, policy):
+        query = make_query(1, object_ids=[1, 2], cost=1.0, timestamp=5.0)
+        assert not policy.cache_satisfies(query)
+        policy.load_object(1, timestamp=0.0)
+        policy.load_object(2, timestamp=0.0)
+        assert policy.cache_satisfies(query)
+
+    def test_cache_satisfies_requires_currency(self, policy):
+        policy.load_object(1, timestamp=0.0)
+        policy.on_update(make_update(1, object_id=1, cost=1.0, timestamp=2.0))
+        query = make_query(1, object_ids=[1], cost=1.0, timestamp=5.0)
+        assert not policy.cache_satisfies(query)
+
+    def test_tolerance_allows_recent_updates_to_be_ignored(self, policy):
+        policy.load_object(1, timestamp=0.0)
+        policy.on_update(make_update(1, object_id=1, cost=1.0, timestamp=98.0))
+        tolerant = make_query(1, object_ids=[1], cost=1.0, timestamp=100.0, tolerance=5.0)
+        strict = make_query(2, object_ids=[1], cost=1.0, timestamp=100.0, tolerance=0.0)
+        assert policy.cache_satisfies(tolerant)
+        assert not policy.cache_satisfies(strict)
+
+    def test_interacting_updates_filtered_by_tolerance(self, policy):
+        policy.load_object(1, timestamp=0.0)
+        old = make_update(1, object_id=1, cost=1.0, timestamp=10.0)
+        recent = make_update(2, object_id=1, cost=1.0, timestamp=99.0)
+        for update in (old, recent):
+            policy.on_update(update)
+        query = make_query(1, object_ids=[1], cost=1.0, timestamp=100.0, tolerance=5.0)
+        interacting = policy.interacting_updates(query, 1)
+        assert [u.update_id for u in interacting] == [1]
+
+
+class TestAccounting:
+    def test_ship_query_charges_link(self, policy, link):
+        query = make_query(1, object_ids=[1], cost=7.0, timestamp=1.0)
+        assert policy.on_query(query).query_shipping_cost == pytest.approx(7.0)
+        assert link.total_cost == pytest.approx(7.0)
+        assert policy.total_traffic == pytest.approx(7.0)
+
+    def test_stats_include_store_counters(self, policy):
+        policy.load_object(1, timestamp=0.0)
+        stats = policy.stats()
+        assert stats["store_loads"] == 1
+        assert "total_traffic" in stats

@@ -1,0 +1,187 @@
+"""Tests for the interaction graph and the UpdateManager decision logic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interaction_graph import InteractionGraph
+from repro.core.update_manager import UpdateManager
+from tests.conftest import make_query, make_update
+
+
+class TestInteractionGraph:
+    def test_ship_cheap_update_instead_of_expensive_query(self):
+        graph = InteractionGraph()
+        query = make_query(1, object_ids=[1], cost=10.0, timestamp=5.0)
+        update = make_update(1, object_id=1, cost=2.0, timestamp=1.0)
+        graph.add_query(query)
+        graph.add_update(update)
+        graph.add_interaction(query, update)
+        advice = graph.advise(query)
+        assert not advice.ship_query
+        assert advice.ship_updates == frozenset({1})
+
+    def test_ship_cheap_query_instead_of_expensive_updates(self):
+        graph = InteractionGraph()
+        query = make_query(1, object_ids=[1], cost=3.0, timestamp=5.0)
+        updates = [make_update(i, object_id=1, cost=4.0, timestamp=1.0) for i in range(3)]
+        graph.add_query(query)
+        for update in updates:
+            graph.add_update(update)
+            graph.add_interaction(query, update)
+        advice = graph.advise(query)
+        assert advice.ship_query
+        assert advice.ship_updates == frozenset()
+
+    def test_edge_requires_added_vertices(self):
+        graph = InteractionGraph()
+        query = make_query(1, object_ids=[1], cost=3.0, timestamp=5.0)
+        update = make_update(1, object_id=1, cost=4.0, timestamp=1.0)
+        with pytest.raises(KeyError):
+            graph.add_interaction(query, update)
+        graph.add_query(query)
+        with pytest.raises(KeyError):
+            graph.add_interaction(query, update)
+
+    def test_accumulated_query_weight_eventually_justifies_update(self):
+        """Repeated cheap queries against one expensive update flip the cover.
+
+        Each individual query is cheaper than the update, so the first
+        queries are shipped; once their accumulated weight exceeds the
+        update's cost, the update is shipped instead (the paper's central
+        cost-amortisation behaviour).
+        """
+        graph = InteractionGraph()
+        update = make_update(1, object_id=1, cost=10.0, timestamp=0.0)
+        shipped_update_at = None
+        for step in range(1, 8):
+            query = make_query(step, object_ids=[1], cost=3.0, timestamp=float(step))
+            graph.add_query(query)
+            graph.add_update(update)
+            graph.add_interaction(query, update)
+            advice = graph.advise(query)
+            if advice.ship_updates:
+                shipped_update_at = step
+                break
+            assert advice.ship_query
+        assert shipped_update_at is not None
+        assert shipped_update_at == 4  # 3 + 3 + 3 < 10 <= 3 + 3 + 3 + 3
+
+    def test_remainder_pruning_retires_covered_updates(self):
+        graph = InteractionGraph()
+        query = make_query(1, object_ids=[1], cost=10.0, timestamp=5.0)
+        update = make_update(1, object_id=1, cost=2.0, timestamp=1.0)
+        graph.add_query(query)
+        graph.add_update(update)
+        graph.add_interaction(query, update)
+        graph.advise(query)
+        # The shipped update left the remainder graph; nothing active remains
+        # (the query, answered at the cache, is pruned as isolated).
+        assert graph.active_update_count == 0
+        assert graph.edge_count == 0
+
+    def test_shipped_query_does_not_rejustify_updates(self):
+        """A query whose weight was spent cannot keep justifying shipping.
+
+        q1 (10) justifies shipping u1 (4).  A second, disjoint update u2 (8)
+        then interacts with a new cheap query q2 (3): the remaining weight
+        attributable to u2 is q2's 3 (q1 interacted only with u1), so q2 is
+        shipped, not u2.
+        """
+        graph = InteractionGraph()
+        q1 = make_query(1, object_ids=[1], cost=10.0, timestamp=1.0)
+        u1 = make_update(1, object_id=1, cost=4.0, timestamp=0.5)
+        graph.add_query(q1)
+        graph.add_update(u1)
+        graph.add_interaction(q1, u1)
+        first = graph.advise(q1)
+        assert first.ship_updates == frozenset({1})
+
+        q2 = make_query(2, object_ids=[1], cost=3.0, timestamp=2.0)
+        u2 = make_update(2, object_id=1, cost=8.0, timestamp=1.5)
+        graph.add_query(q2)
+        graph.add_update(u2)
+        graph.add_interaction(q2, u2)
+        second = graph.advise(q2)
+        assert second.ship_query
+        assert second.ship_updates == frozenset()
+
+    def test_drop_updates_removes_interactions(self):
+        graph = InteractionGraph()
+        query = make_query(1, object_ids=[1], cost=1.0, timestamp=5.0)
+        update = make_update(1, object_id=1, cost=5.0, timestamp=1.0)
+        graph.add_query(query)
+        graph.add_update(update)
+        graph.add_interaction(query, update)
+        graph.drop_updates([1])
+        assert graph.active_update_count == 0
+        assert graph.edge_count == 0
+
+    def test_covers_computed_counter(self):
+        graph = InteractionGraph()
+        query = make_query(1, object_ids=[1], cost=1.0, timestamp=5.0)
+        update = make_update(1, object_id=1, cost=5.0, timestamp=1.0)
+        graph.add_query(query)
+        graph.add_update(update)
+        graph.add_interaction(query, update)
+        graph.advise(query)
+        assert graph.covers_computed == 1
+
+
+class TestUpdateManager:
+    def test_fast_path_when_no_interacting_updates(self):
+        manager = UpdateManager()
+        query = make_query(1, object_ids=[1], cost=5.0, timestamp=1.0)
+        result = manager.decide(query, interacting_updates={})
+        assert not result.ship_query
+        assert result.ship_update_ids == []
+
+    def test_cheap_updates_are_shipped(self):
+        manager = UpdateManager()
+        query = make_query(1, object_ids=[1, 2], cost=20.0, timestamp=5.0)
+        interacting = {
+            1: [make_update(1, object_id=1, cost=2.0, timestamp=1.0)],
+            2: [make_update(2, object_id=2, cost=3.0, timestamp=2.0)],
+        }
+        result = manager.decide(query, interacting)
+        assert not result.ship_query
+        assert set(result.ship_update_ids) == {1, 2}
+
+    def test_expensive_updates_cause_query_shipping(self):
+        manager = UpdateManager()
+        query = make_query(1, object_ids=[1], cost=4.0, timestamp=5.0)
+        interacting = {1: [make_update(1, object_id=1, cost=50.0, timestamp=1.0)]}
+        result = manager.decide(query, interacting)
+        assert result.ship_query
+        assert result.ship_update_ids == []
+
+    def test_mixed_decision_covers_every_interaction(self):
+        """Whatever the cover picks, each query's currency must be satisfiable."""
+        manager = UpdateManager()
+        query = make_query(1, object_ids=[1, 2], cost=6.0, timestamp=5.0)
+        interacting = {
+            1: [make_update(1, object_id=1, cost=1.0, timestamp=1.0)],
+            2: [make_update(2, object_id=2, cost=100.0, timestamp=2.0)],
+        }
+        result = manager.decide(query, interacting)
+        # Either the query is shipped, or every interacting update is shipped.
+        if not result.ship_query:
+            assert set(result.ship_update_ids) >= {1, 2}
+
+    def test_forget_updates_delegates_to_graph(self):
+        manager = UpdateManager()
+        query = make_query(1, object_ids=[1], cost=1.0, timestamp=5.0)
+        interacting = {1: [make_update(1, object_id=1, cost=50.0, timestamp=1.0)]}
+        manager.decide(query, interacting)
+        manager.forget_updates([1])
+        assert manager.graph.active_update_count == 0
+
+    def test_stats_counters(self):
+        manager = UpdateManager()
+        query = make_query(1, object_ids=[1], cost=10.0, timestamp=5.0)
+        interacting = {1: [make_update(1, object_id=1, cost=2.0, timestamp=1.0)]}
+        manager.decide(query, interacting)
+        stats = manager.stats()
+        assert stats["decisions"] == 1
+        assert stats["updates_shipped"] == 1
+        assert stats["queries_shipped"] == 0

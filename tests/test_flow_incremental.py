@@ -1,0 +1,194 @@
+"""Tests for the incremental (warm-started) max-flow / vertex-cover solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow.incremental import IncrementalMaxFlow
+from repro.flow.vertex_cover import brute_force_min_cover, min_weight_vertex_cover
+
+
+class TestBasics:
+    def test_single_edge_cover(self):
+        solver = IncrementalMaxFlow()
+        solver.add_left("q1", 10.0)
+        solver.add_right("u1", 3.0)
+        solver.add_edge("q1", "u1")
+        cover = solver.compute_cover()
+        assert cover.right_in_cover == frozenset({"u1"})
+        assert cover.weight == pytest.approx(3.0)
+
+    def test_edge_requires_registered_vertices(self):
+        solver = IncrementalMaxFlow()
+        solver.add_left("q1", 1.0)
+        with pytest.raises(KeyError):
+            solver.add_edge("q1", "u1")
+
+    def test_negative_weight_rejected(self):
+        solver = IncrementalMaxFlow()
+        with pytest.raises(ValueError):
+            solver.add_left("q1", -1.0)
+
+    def test_weight_increase_allowed_decrease_rejected(self):
+        solver = IncrementalMaxFlow()
+        solver.add_left("q1", 5.0)
+        solver.add_left("q1", 8.0)
+        with pytest.raises(ValueError):
+            solver.add_left("q1", 2.0)
+
+    def test_duplicate_edge_is_idempotent(self):
+        solver = IncrementalMaxFlow()
+        solver.add_left("q1", 4.0)
+        solver.add_right("u1", 10.0)
+        solver.add_edge("q1", "u1")
+        solver.add_edge("q1", "u1")
+        cover = solver.compute_cover()
+        assert cover.weight == pytest.approx(4.0)
+
+    def test_has_left_and_right_track_retirement(self):
+        solver = IncrementalMaxFlow()
+        solver.add_left("q1", 4.0)
+        solver.add_right("u1", 1.0)
+        assert solver.has_left("q1")
+        assert solver.has_right("u1")
+        solver.retire(left=["q1"], right=["u1"])
+        assert not solver.has_left("q1")
+        assert not solver.has_right("u1")
+
+
+class TestIncrementalEquivalence:
+    def test_growing_graph_matches_from_scratch(self):
+        """Covers computed incrementally match solving each snapshot fresh."""
+        rng = np.random.default_rng(5)
+        solver = IncrementalMaxFlow()
+        for step in range(20):
+            query = f"q{step}"
+            solver.add_left(query, float(rng.integers(1, 20)))
+            for _ in range(int(rng.integers(1, 4))):
+                update = f"u{int(rng.integers(0, 10))}"
+                if not solver.has_right(update):
+                    solver.add_right(update, float(rng.integers(1, 20)))
+                solver.add_edge(query, update)
+            incremental = solver.compute_cover()
+            fresh = min_weight_vertex_cover(solver.to_instance(active_only=True))
+            assert incremental.weight == pytest.approx(fresh.weight)
+
+    def test_total_augmentations_counted(self):
+        solver = IncrementalMaxFlow()
+        solver.add_left("q1", 1.0)
+        solver.add_right("u1", 2.0)
+        solver.add_edge("q1", "u1")
+        solver.compute_cover()
+        solver.compute_cover()
+        assert solver.augmentation_count == 2
+
+
+class TestRetirement:
+    def _two_phase_solver(self):
+        solver = IncrementalMaxFlow()
+        solver.add_left("q1", 10.0)
+        solver.add_right("u1", 3.0)
+        solver.add_edge("q1", "u1")
+        return solver
+
+    def test_retired_updates_leave_active_cover(self):
+        solver = self._two_phase_solver()
+        first = solver.compute_cover()
+        assert first.right_in_cover == frozenset({"u1"})
+        solver.retire(right=["u1"])
+        second = solver.compute_cover()
+        assert "u1" not in second.right_in_cover
+        assert second.weight == pytest.approx(0.0)
+
+    def test_consumed_weight_persists_after_retirement(self):
+        """A query's weight spent justifying earlier updates stays spent.
+
+        q1 (weight 10) justified shipping u1 (3).  A later update u2 (9)
+        interacting with q1 should NOT be shipped: only 7 units of q1's weight
+        remain unspent, which is less than u2's cost, so the cover picks q1.
+        """
+        solver = self._two_phase_solver()
+        solver.compute_cover()
+        solver.retire(right=["u1"])
+        solver.add_right("u2", 9.0)
+        solver.add_edge("q1", "u2")
+        cover = solver.compute_cover()
+        assert cover.right_in_cover == frozenset()
+        assert ("q1") in {v for v in cover.left_in_cover}
+
+    def test_cheap_followup_update_still_shipped(self):
+        solver = self._two_phase_solver()
+        solver.compute_cover()
+        solver.retire(right=["u1"])
+        solver.add_right("u2", 2.0)
+        solver.add_edge("q1", "u2")
+        cover = solver.compute_cover()
+        assert cover.right_in_cover == frozenset({"u2"})
+
+
+class TestCompaction:
+    def test_compact_preserves_active_decisions(self):
+        rng = np.random.default_rng(11)
+        solver = IncrementalMaxFlow()
+        reference = IncrementalMaxFlow()
+        for step in range(30):
+            query = f"q{step}"
+            weight = float(rng.integers(1, 15))
+            solver.add_left(query, weight)
+            reference.add_left(query, weight)
+            update = f"u{step}"
+            update_weight = float(rng.integers(1, 15))
+            solver.add_right(update, update_weight)
+            reference.add_right(update, update_weight)
+            solver.add_edge(query, update)
+            reference.add_edge(query, update)
+            cover_a = solver.compute_cover()
+            cover_b = reference.compute_cover()
+            assert cover_a.weight == pytest.approx(cover_b.weight)
+            retire_right = list(cover_a.right_in_cover)
+            retire_left = [
+                vertex for vertex in (f"q{s}" for s in range(step + 1))
+                if solver.has_left(vertex) and vertex not in cover_a.left_in_cover
+            ]
+            solver.retire(left=retire_left, right=retire_right)
+            reference.retire(left=retire_left, right=retire_right)
+            if step % 5 == 4:
+                solver.compact()
+
+    def test_compact_shrinks_network(self):
+        solver = IncrementalMaxFlow()
+        for step in range(10):
+            solver.add_left(f"q{step}", 5.0)
+            solver.add_right(f"u{step}", 1.0)
+            solver.add_edge(f"q{step}", f"u{step}")
+        solver.compute_cover()
+        solver.retire(
+            left=[f"q{step}" for step in range(10)],
+            right=[f"u{step}" for step in range(10)],
+        )
+        before = solver.network.vertex_count
+        solver.compact()
+        assert solver.network.vertex_count < before
+        assert solver.retired_count == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000), steps=st.integers(min_value=1, max_value=12))
+def test_property_incremental_matches_oracle(seed, steps):
+    """At every step the incremental cover weight equals the exact optimum."""
+    rng = np.random.default_rng(seed)
+    solver = IncrementalMaxFlow()
+    for step in range(steps):
+        query = f"q{step}"
+        solver.add_left(query, float(rng.integers(1, 12)))
+        for _ in range(int(rng.integers(1, 3))):
+            update = f"u{int(rng.integers(0, 6))}"
+            if not solver.has_right(update):
+                solver.add_right(update, float(rng.integers(1, 12)))
+            solver.add_edge(query, update)
+        cover = solver.compute_cover()
+        oracle = brute_force_min_cover(solver.to_instance(active_only=True))
+        assert cover.weight == pytest.approx(oracle.weight)

@@ -1,0 +1,158 @@
+"""Unit and oracle tests for the max-flow solvers."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow.graph import FlowNetwork
+from repro.flow.maxflow import dinic_max_flow, edmonds_karp_max_flow, solve_max_flow
+
+
+def build_classic_network() -> FlowNetwork:
+    """The classic CLRS example network with max flow 23."""
+    network = FlowNetwork()
+    edges = [
+        ("s", "v1", 16), ("s", "v2", 13), ("v1", "v3", 12), ("v2", "v1", 4),
+        ("v2", "v4", 14), ("v3", "v2", 9), ("v3", "t", 20), ("v4", "v3", 7),
+        ("v4", "t", 4),
+    ]
+    for tail, head, capacity in edges:
+        network.add_edge(tail, head, float(capacity))
+    return network
+
+
+class TestKnownNetworks:
+    @pytest.mark.parametrize("solver", [edmonds_karp_max_flow, dinic_max_flow])
+    def test_classic_clrs_network(self, solver):
+        network = build_classic_network()
+        assert solver(network, "s", "t") == pytest.approx(23.0)
+
+    @pytest.mark.parametrize("solver", [edmonds_karp_max_flow, dinic_max_flow])
+    def test_single_edge(self, solver):
+        network = FlowNetwork()
+        network.add_edge("s", "t", 7.5)
+        assert solver(network, "s", "t") == pytest.approx(7.5)
+
+    @pytest.mark.parametrize("solver", [edmonds_karp_max_flow, dinic_max_flow])
+    def test_disconnected_sink_gives_zero(self, solver):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 5.0)
+        network.add_vertex("t")
+        assert solver(network, "s", "t") == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("solver", [edmonds_karp_max_flow, dinic_max_flow])
+    def test_missing_vertices_give_zero(self, solver):
+        network = FlowNetwork()
+        assert solver(network, "s", "t") == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("solver", [edmonds_karp_max_flow, dinic_max_flow])
+    def test_parallel_paths_sum(self, solver):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 3.0)
+        network.add_edge("a", "t", 3.0)
+        network.add_edge("s", "b", 4.0)
+        network.add_edge("b", "t", 4.0)
+        assert solver(network, "s", "t") == pytest.approx(7.0)
+
+    @pytest.mark.parametrize("solver", [edmonds_karp_max_flow, dinic_max_flow])
+    def test_flow_is_feasible_after_solving(self, solver):
+        network = build_classic_network()
+        solver(network, "s", "t")
+        network.check_flow_conservation("s", "t")
+
+    @pytest.mark.parametrize("solver", [edmonds_karp_max_flow, dinic_max_flow])
+    def test_infinite_capacity_edges(self, solver):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 5.0)
+        network.add_edge("a", "t", float("inf"))
+        assert solver(network, "s", "t") == pytest.approx(5.0)
+
+
+class TestIncrementalAugmentation:
+    def test_flow_can_be_augmented_after_adding_edges(self):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 3.0)
+        network.add_edge("a", "t", 3.0)
+        assert edmonds_karp_max_flow(network, "s", "t") == pytest.approx(3.0)
+        # Add a second path; re-solving augments the existing flow.
+        network.add_edge("s", "b", 2.0)
+        network.add_edge("b", "t", 2.0)
+        assert edmonds_karp_max_flow(network, "s", "t") == pytest.approx(5.0)
+
+    def test_capacity_increase_is_picked_up(self):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 1.0)
+        network.add_edge("a", "t", 5.0)
+        assert edmonds_karp_max_flow(network, "s", "t") == pytest.approx(1.0)
+        network.add_edge("s", "a", 3.0)  # capacity is now 4
+        assert edmonds_karp_max_flow(network, "s", "t") == pytest.approx(4.0)
+
+
+class TestDispatch:
+    def test_solve_max_flow_dispatches_by_name(self):
+        network = build_classic_network()
+        assert solve_max_flow(network, "s", "t", method="dinic") == pytest.approx(23.0)
+
+    def test_unknown_method_raises(self):
+        network = build_classic_network()
+        with pytest.raises(ValueError):
+            solve_max_flow(network, "s", "t", method="push-relabel")
+
+
+def random_graph_edges(seed: int, node_count: int, edge_count: int):
+    """Deterministic random capacitated edges between numbered nodes."""
+    rng = np.random.default_rng(seed)
+    edges = []
+    for _ in range(edge_count):
+        tail = int(rng.integers(0, node_count))
+        head = int(rng.integers(0, node_count))
+        if tail == head:
+            continue
+        edges.append((tail, head, float(rng.integers(1, 20))))
+    return edges
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("solver", [edmonds_karp_max_flow, dinic_max_flow])
+    def test_random_graphs_match_networkx(self, seed, solver):
+        edges = random_graph_edges(seed, node_count=8, edge_count=24)
+        network = FlowNetwork()
+        graph = nx.DiGraph()
+        for tail, head, capacity in edges:
+            network.add_edge(tail, head, capacity)
+            if graph.has_edge(tail, head):
+                graph[tail][head]["capacity"] += capacity
+            else:
+                graph.add_edge(tail, head, capacity=capacity)
+        network.add_vertex(0)
+        network.add_vertex(7)
+        graph.add_node(0)
+        graph.add_node(7)
+        expected = nx.maximum_flow_value(graph, 0, 7) if graph.number_of_edges() else 0.0
+        assert solver(network, 0, 7) == pytest.approx(expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    node_count=st.integers(min_value=3, max_value=7),
+)
+def test_property_both_solvers_agree(seed, node_count):
+    """Edmonds-Karp and Dinic always compute the same max-flow value."""
+    edges = random_graph_edges(seed, node_count=node_count, edge_count=3 * node_count)
+    network_a = FlowNetwork()
+    network_b = FlowNetwork()
+    for tail, head, capacity in edges:
+        network_a.add_edge(tail, head, capacity)
+        network_b.add_edge(tail, head, capacity)
+    for network in (network_a, network_b):
+        network.add_vertex(0)
+        network.add_vertex(node_count - 1)
+    value_a = edmonds_karp_max_flow(network_a, 0, node_count - 1)
+    value_b = dinic_max_flow(network_b, 0, node_count - 1)
+    assert value_a == pytest.approx(value_b)

@@ -1,0 +1,77 @@
+"""Tests for the network cost models and the traffic ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.cost import AffineCostModel, LinearCostModel
+from repro.network.link import Mechanism, NetworkLink
+
+
+class TestCostModels:
+    def test_linear_cost_is_proportional(self):
+        model = LinearCostModel()
+        assert model.cost(10.0) == pytest.approx(10.0)
+        assert model.cost(0.0) == pytest.approx(0.0)
+
+    def test_linear_cost_with_factor(self):
+        model = LinearCostModel(factor=2.0)
+        assert model.cost(10.0) == pytest.approx(20.0)
+
+    def test_linear_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            LinearCostModel().cost(-1.0)
+
+    def test_affine_adds_overhead_except_for_empty_transfers(self):
+        model = AffineCostModel(factor=1.0, overhead=0.5)
+        assert model.cost(10.0) == pytest.approx(10.5)
+        assert model.cost(0.0) == pytest.approx(0.0)
+
+    def test_cost_of_many(self):
+        model = LinearCostModel()
+        assert model.cost_of_many([1.0, 2.0, 3.0]) == pytest.approx(6.0)
+
+
+class TestNetworkLink:
+    def test_charges_accumulate_by_mechanism(self):
+        link = NetworkLink()
+        link.ship_query(5.0, timestamp=1.0, query_id=1)
+        link.ship_update(2.0, timestamp=2.0, object_id=3, update_id=7)
+        link.load_object(10.0, timestamp=3.0, object_id=3)
+        totals = link.total_by_mechanism()
+        assert totals[Mechanism.QUERY_SHIPPING] == pytest.approx(5.0)
+        assert totals[Mechanism.UPDATE_SHIPPING] == pytest.approx(2.0)
+        assert totals[Mechanism.OBJECT_LOADING] == pytest.approx(10.0)
+        assert link.total_cost == pytest.approx(17.0)
+
+    def test_counts_by_mechanism(self):
+        link = NetworkLink()
+        link.ship_query(1.0, timestamp=0.0)
+        link.ship_query(1.0, timestamp=0.0)
+        assert link.count_by_mechanism()[Mechanism.QUERY_SHIPPING] == 2
+
+    def test_unknown_mechanism_rejected(self):
+        link = NetworkLink()
+        with pytest.raises(ValueError):
+            link.charge("teleport", 1.0, timestamp=0.0)
+
+    def test_records_kept_only_when_requested(self):
+        silent = NetworkLink()
+        silent.ship_query(1.0, timestamp=0.0)
+        assert silent.records == []
+        verbose = NetworkLink(keep_records=True)
+        verbose.ship_query(1.0, timestamp=0.0, query_id=42)
+        assert len(verbose.records) == 1
+        assert verbose.records[0].event_id == 42
+
+    def test_reset_clears_everything(self):
+        link = NetworkLink(keep_records=True)
+        link.load_object(4.0, timestamp=0.0, object_id=1)
+        link.reset()
+        assert link.total_cost == pytest.approx(0.0)
+        assert link.records == []
+
+    def test_custom_cost_model_applies(self):
+        link = NetworkLink(cost_model=LinearCostModel(factor=3.0))
+        link.ship_query(2.0, timestamp=0.0)
+        assert link.total_cost == pytest.approx(6.0)

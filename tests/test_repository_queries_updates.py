@@ -1,0 +1,98 @@
+"""Tests for query and update specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.repository.queries import Query, QueryIdAllocator, QueryTemplate, total_query_cost
+from repro.repository.updates import Update, UpdateIdAllocator, UpdateKind
+
+
+class TestQuery:
+    def test_object_ids_coerced_to_frozenset(self):
+        query = Query(query_id=1, object_ids=[1, 2, 2], cost=1.0, timestamp=0.0)
+        assert query.object_ids == frozenset({1, 2})
+
+    def test_empty_footprint_rejected(self):
+        with pytest.raises(ValueError):
+            Query(query_id=1, object_ids=frozenset(), cost=1.0, timestamp=0.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Query(query_id=1, object_ids=frozenset({1}), cost=-1.0, timestamp=0.0)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            Query(query_id=1, object_ids=frozenset({1}), cost=1.0, timestamp=0.0, tolerance=-1.0)
+
+    def test_unknown_template_rejected(self):
+        with pytest.raises(ValueError):
+            Query(
+                query_id=1, object_ids=frozenset({1}), cost=1.0, timestamp=0.0,
+                template="mystery",
+            )
+
+    def test_aliases_match_paper_notation(self):
+        query = Query(query_id=1, object_ids=frozenset({1, 2}), cost=7.0, timestamp=3.0)
+        assert query.shipping_cost == pytest.approx(7.0)
+        assert query.accessed_objects == frozenset({1, 2})
+        assert query.touches(1) and not query.touches(9)
+
+    def test_requires_update_with_zero_tolerance(self):
+        query = Query(query_id=1, object_ids=frozenset({1}), cost=1.0, timestamp=100.0)
+        assert query.requires_update(99.0)
+        assert query.requires_update(100.0)
+
+    def test_requires_update_respects_tolerance_window(self):
+        query = Query(
+            query_id=1, object_ids=frozenset({1}), cost=1.0, timestamp=100.0, tolerance=10.0
+        )
+        assert query.requires_update(89.0)
+        assert query.requires_update(90.0)
+        assert not query.requires_update(95.0)
+        assert not query.requires_update(100.0)
+
+    def test_infinite_tolerance_never_requires_updates(self):
+        query = Query(
+            query_id=1, object_ids=frozenset({1}), cost=1.0, timestamp=100.0,
+            tolerance=float("inf"),
+        )
+        assert not query.requires_update(0.0)
+
+    def test_total_query_cost_helper(self):
+        queries = [
+            Query(query_id=i, object_ids=frozenset({1}), cost=float(i), timestamp=float(i))
+            for i in range(1, 5)
+        ]
+        assert total_query_cost(queries) == pytest.approx(10.0)
+
+    def test_query_id_allocator_is_monotonic(self):
+        allocator = QueryIdAllocator(start=5)
+        assert [allocator.next_id() for _ in range(3)] == [5, 6, 7]
+
+    def test_templates_enumeration(self):
+        assert QueryTemplate.RANGE in QueryTemplate.ALL
+        assert len(set(QueryTemplate.ALL)) == len(QueryTemplate.ALL)
+
+
+class TestUpdate:
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Update(update_id=1, object_id=1, cost=-1.0, timestamp=0.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Update(update_id=1, object_id=1, cost=1.0, timestamp=0.0, kind="truncate")
+
+    def test_shipping_cost_alias(self):
+        update = Update(update_id=1, object_id=1, cost=2.5, timestamp=0.0)
+        assert update.shipping_cost == pytest.approx(2.5)
+
+    def test_default_kind_is_insert(self):
+        update = Update(update_id=1, object_id=1, cost=1.0, timestamp=0.0)
+        assert update.kind == UpdateKind.INSERT
+
+    def test_update_id_allocator(self):
+        allocator = UpdateIdAllocator()
+        assert allocator.next_id() == 0
+        assert allocator.next_id() == 1

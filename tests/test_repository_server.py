@@ -1,0 +1,86 @@
+"""Tests for the in-memory repository (server) substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.repository.server import Repository
+from tests.conftest import make_query, make_update
+
+
+class TestIngest:
+    def test_ingest_bumps_version_and_size(self, repository):
+        update = make_update(1, object_id=2, cost=4.0, timestamp=1.0)
+        repository.ingest_update(update)
+        assert repository.object_version(2) == 1
+        assert repository.object_size(2) == pytest.approx(24.0)
+
+    def test_ingest_unknown_object_raises(self, repository):
+        with pytest.raises(KeyError):
+            repository.ingest_update(make_update(1, object_id=99, cost=1.0, timestamp=0.0))
+
+    def test_total_size_grows_with_updates(self, repository):
+        base = repository.total_size
+        repository.ingest_updates(
+            [make_update(i, object_id=1, cost=2.0, timestamp=float(i)) for i in range(3)]
+        )
+        assert repository.total_size == pytest.approx(base + 6.0)
+
+    def test_update_log_preserves_order(self, repository):
+        updates = [make_update(i, object_id=1, cost=1.0, timestamp=float(i)) for i in range(4)]
+        repository.ingest_updates(updates)
+        assert [u.update_id for u in repository.update_log(1)] == [0, 1, 2, 3]
+
+
+class TestUpdateShipping:
+    def test_updates_since_version(self, repository):
+        updates = [make_update(i, object_id=1, cost=1.0, timestamp=float(i)) for i in range(5)]
+        repository.ingest_updates(updates)
+        missing = repository.updates_since(1, version=2)
+        assert [u.update_id for u in missing] == [2, 3, 4]
+
+    def test_updates_since_negative_version_raises(self, repository):
+        with pytest.raises(ValueError):
+            repository.updates_since(1, version=-1)
+
+    def test_outstanding_update_cost(self, repository):
+        repository.ingest_updates(
+            [make_update(i, object_id=1, cost=2.0, timestamp=float(i)) for i in range(3)]
+        )
+        assert repository.outstanding_update_cost(1, version=1) == pytest.approx(4.0)
+
+    def test_ship_updates_returns_cost(self, repository):
+        repository.ingest_updates(
+            [make_update(i, object_id=1, cost=3.0, timestamp=float(i)) for i in range(2)]
+        )
+        updates, cost = repository.ship_updates(1, version=0)
+        assert len(updates) == 2
+        assert cost == pytest.approx(6.0)
+
+
+class TestQueryAnswering:
+    def test_answer_query_returns_cost(self, repository):
+        query = make_query(1, object_ids=[1, 2], cost=9.0, timestamp=1.0)
+        assert repository.answer_query(query) == pytest.approx(9.0)
+
+    def test_answer_query_unknown_object_raises(self, repository):
+        query = make_query(1, object_ids=[99], cost=9.0, timestamp=1.0)
+        with pytest.raises(KeyError):
+            repository.answer_query(query)
+
+
+class TestObjectLoading:
+    def test_load_object_returns_current_snapshot(self, repository):
+        repository.ingest_update(make_update(1, object_id=3, cost=5.0, timestamp=1.0))
+        snapshot, cost = repository.load_object(3, timestamp=2.0)
+        assert snapshot.version == 1
+        assert cost == pytest.approx(35.0)
+        assert snapshot.size == pytest.approx(35.0)
+
+    def test_stats_counters(self, repository):
+        repository.ingest_update(make_update(1, object_id=1, cost=1.0, timestamp=0.0))
+        repository.answer_query(make_query(1, object_ids=[1], cost=1.0, timestamp=1.0))
+        stats = repository.stats()
+        assert stats["updates_received"] == 1
+        assert stats["queries_answered"] == 1
+        assert stats["object_count"] == 5

@@ -1,0 +1,161 @@
+"""Tests for the simulation engine, metrics, results and runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.vcover import VCoverConfig, VCoverPolicy
+from repro.core.yardsticks import NoCachePolicy
+from repro.network.link import NetworkLink
+from repro.repository.objects import ObjectCatalog
+from repro.repository.server import Repository
+from repro.sim.engine import EngineConfig, SimulationEngine
+from repro.sim.metrics import CacheOccupancySeries, TrafficTimeSeries
+from repro.sim.results import ComparisonResult, RunResult
+from repro.sim.runner import (
+    PolicySpec,
+    compare_policies,
+    default_policy_specs,
+    run_policy,
+)
+from repro.workload.trace import QueryEvent, Trace, UpdateEvent
+from tests.conftest import make_query, make_update
+
+
+@pytest.fixture
+def catalog():
+    return ObjectCatalog.from_sizes({1: 10.0, 2: 20.0, 3: 30.0})
+
+
+def build_trace(events: int = 30) -> Trace:
+    items = []
+    for index in range(events):
+        timestamp = float(index + 1)
+        if index % 3 == 2:
+            items.append(UpdateEvent(make_update(index, object_id=1 + index % 3, cost=1.0,
+                                                  timestamp=timestamp)))
+        else:
+            items.append(QueryEvent(make_query(index, object_ids=[1 + index % 3], cost=2.0,
+                                               timestamp=timestamp)))
+    return Trace(items)
+
+
+class TestTrafficTimeSeries:
+    def test_sampling_grid(self):
+        link = NetworkLink()
+        series = TrafficTimeSeries(link, sample_every=10)
+        for index in range(1, 31):
+            link.ship_query(1.0, timestamp=float(index))
+            series.maybe_sample(index)
+        assert series.event_indices() == [10, 20, 30]
+        assert series.totals() == [pytest.approx(10.0), pytest.approx(20.0), pytest.approx(30.0)]
+
+    def test_invalid_sample_every(self):
+        with pytest.raises(ValueError):
+            TrafficTimeSeries(NetworkLink(), sample_every=0)
+
+    def test_series_for_mechanism(self):
+        link = NetworkLink()
+        series = TrafficTimeSeries(link, sample_every=1)
+        link.load_object(5.0, timestamp=1.0)
+        series.sample(1)
+        assert series.series_for("object_loading") == [pytest.approx(5.0)]
+        with pytest.raises(ValueError):
+            series.series_for("teleport")
+
+    def test_final_total_empty(self):
+        series = TrafficTimeSeries(NetworkLink(), sample_every=1)
+        assert series.final_total() == 0.0
+
+    def test_occupancy_series(self):
+        occupancy = CacheOccupancySeries(sample_every=5)
+        occupancy.maybe_sample(5, used=10.0, capacity=40.0, count=2)
+        occupancy.maybe_sample(7, used=10.0, capacity=40.0, count=2)
+        assert occupancy.event_indices == [5]
+        assert occupancy.occupancy == [pytest.approx(0.25)]
+
+
+class TestEngine:
+    def test_run_counts_queries_and_samples(self, catalog):
+        repository = Repository(catalog)
+        link = NetworkLink()
+        policy = NoCachePolicy(repository, 0.0, link)
+        engine = SimulationEngine(repository, EngineConfig(sample_every=10))
+        trace = build_trace(30)
+        result = engine.run(policy, trace, link)
+        assert result.events_processed == 30
+        assert result.queries_shipped == trace.query_count
+        assert result.queries_answered_at_cache == 0
+        assert result.total_traffic == pytest.approx(trace.total_query_cost())
+        assert result.time_series.event_indices()[-1] == 30
+
+    def test_measurement_window_excludes_warmup(self, catalog):
+        repository = Repository(catalog)
+        link = NetworkLink()
+        policy = NoCachePolicy(repository, 0.0, link)
+        engine = SimulationEngine(repository, EngineConfig(sample_every=10, measure_from=15))
+        trace = build_trace(30)
+        result = engine.run(policy, trace, link)
+        assert 0.0 < result.warmup_traffic < result.total_traffic
+        assert result.measured_traffic == pytest.approx(
+            result.total_traffic - result.warmup_traffic
+        )
+
+    def test_progress_callback_invoked(self, catalog):
+        repository = Repository(catalog)
+        link = NetworkLink()
+        policy = NoCachePolicy(repository, 0.0, link)
+        engine = SimulationEngine(repository, EngineConfig(sample_every=10))
+        calls = []
+        engine.run(policy, build_trace(30), link, progress=lambda done, total: calls.append(done))
+        assert calls == [10, 20, 30]
+
+    def test_vcover_run_produces_policy_stats(self, catalog):
+        repository = Repository(catalog)
+        link = NetworkLink()
+        policy = VCoverPolicy(repository, 30.0, link, VCoverConfig())
+        engine = SimulationEngine(repository, EngineConfig(sample_every=10))
+        result = engine.run(policy, build_trace(30), link)
+        assert "update_manager_decisions" in result.policy_stats
+
+
+class TestResults:
+    def test_run_result_summary_and_fraction(self, catalog):
+        spec = default_policy_specs(include=("nocache",))[0]
+        result = run_policy(spec, catalog, build_trace(30), cache_capacity=30.0)
+        assert result.cache_answer_fraction == 0.0
+        assert "total_traffic" in result.summary()
+
+    def test_comparison_ratios_and_ranking(self, catalog):
+        trace = build_trace(60)
+        comparison = compare_policies(
+            catalog, trace, cache_fraction=0.5,
+            specs=default_policy_specs(include=("nocache", "replica", "vcover")),
+        )
+        assert set(comparison.policy_names()) == {"nocache", "replica", "vcover"}
+        ranking = comparison.ranking()
+        assert ranking == sorted(ranking, key=lambda item: item[1])
+        assert comparison.ratio("nocache", "nocache") == pytest.approx(1.0)
+        table = comparison.as_table()
+        assert "nocache" in table and "vcover" in table
+        assert "nocache_over_vcover" in comparison.summary()
+
+    def test_unknown_policy_name_rejected(self):
+        with pytest.raises(ValueError):
+            default_policy_specs(include=("quantum",))
+
+    def test_run_policy_uses_fresh_repository(self, catalog):
+        """Two runs over the same catalogue do not contaminate each other."""
+        trace = build_trace(30)
+        spec = default_policy_specs(include=("replica",))[0]
+        first = run_policy(spec, catalog, trace, cache_capacity=0.0)
+        second = run_policy(spec, catalog, trace, cache_capacity=0.0)
+        assert first.total_traffic == pytest.approx(second.total_traffic)
+
+    def test_absolute_cache_capacity_override(self, catalog):
+        trace = build_trace(30)
+        comparison = compare_policies(
+            catalog, trace, cache_capacity=5.0,
+            specs=default_policy_specs(include=("vcover",)),
+        )
+        assert comparison["vcover"].policy_stats["store_capacity"] == pytest.approx(5.0)

@@ -1,0 +1,95 @@
+"""Tests for the hierarchical triangular mesh."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sky.htm import HTMMesh, Trixel
+from repro.sky.regions import CircularRegion, SkyPoint, random_sky_point
+
+
+class TestMeshStructure:
+    @pytest.mark.parametrize("level,expected", [(0, 8), (1, 32), (2, 128), (3, 512)])
+    def test_trixel_counts(self, level, expected):
+        assert HTMMesh.trixel_count(level) == expected
+        assert len(HTMMesh(level)) == expected
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(ValueError):
+            HTMMesh(-1)
+        with pytest.raises(ValueError):
+            HTMMesh(9)
+
+    def test_names_follow_htm_convention(self):
+        mesh = HTMMesh(1)
+        names = {trixel.name for trixel in mesh}
+        assert all(name[0] in "NS" for name in names)
+        assert all(len(name) == 3 for name in names)
+        assert len(names) == 32
+
+    def test_children_are_one_level_deeper(self):
+        mesh = HTMMesh(0)
+        parent = next(iter(mesh))
+        children = parent.children()
+        assert len(children) == 4
+        assert all(child.level == 1 for child in children)
+        assert all(child.name.startswith(parent.name) for child in children)
+
+    def test_by_name_lookup(self):
+        mesh = HTMMesh(1)
+        trixel = mesh.trixels()[0]
+        assert mesh.by_name(trixel.name) is trixel
+
+
+class TestLocate:
+    @pytest.mark.parametrize("level", [0, 1, 2, 3])
+    def test_located_trixel_contains_the_point(self, level):
+        mesh = HTMMesh(level)
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            point = random_sky_point(rng)
+            trixel = mesh.locate(point)
+            # The located trixel must contain the point (allowing edge cases
+            # where the nearest trixel was chosen due to numerical ties).
+            assert trixel.contains(point) or trixel.center.angular_distance(point) <= (
+                trixel.angular_radius + 1e-6
+            )
+
+    def test_locate_is_deterministic(self):
+        mesh = HTMMesh(3)
+        point = SkyPoint(ra=123.0, dec=45.0)
+        assert mesh.locate(point).name == mesh.locate(point).name
+
+    def test_every_point_maps_to_exactly_one_level_trixel(self):
+        mesh = HTMMesh(2)
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            point = random_sky_point(rng)
+            assert mesh.locate(point).level == 2
+
+
+class TestOverlap:
+    def test_region_overlaps_its_containing_trixel(self):
+        mesh = HTMMesh(2)
+        point = SkyPoint(ra=80.0, dec=30.0)
+        region = CircularRegion(center=point, radius=2.0)
+        containing = mesh.locate(point)
+        overlapping_names = {trixel.name for trixel in mesh.overlapping(region)}
+        assert containing.name in overlapping_names
+
+    def test_small_region_overlaps_few_trixels(self):
+        mesh = HTMMesh(2)
+        region = CircularRegion(center=SkyPoint(ra=80.0, dec=30.0), radius=0.5)
+        assert 1 <= len(mesh.overlapping(region)) <= 8
+
+    def test_huge_region_overlaps_everything(self):
+        mesh = HTMMesh(1)
+        region = CircularRegion(center=SkyPoint(ra=0.0, dec=0.0), radius=180.0)
+        assert len(mesh.overlapping(region)) == len(mesh)
+
+    def test_trixel_geometry_properties(self):
+        mesh = HTMMesh(1)
+        for trixel in mesh:
+            assert 0.0 < trixel.angular_radius < 90.0
+            assert trixel.contains(trixel.center)

@@ -1,0 +1,96 @@
+"""Tests for the sky partitioner (trixels -> data objects)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sky.partition import DensityBump, SkyDensityModel, SkyPartition, build_partition
+from repro.sky.regions import CircularRegion, SkyPoint, random_sky_point
+
+
+class TestDensityModel:
+    def test_background_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SkyDensityModel(bumps=[], background=0.0)
+
+    def test_density_is_at_least_background(self):
+        model = SkyDensityModel.survey_default(seed=1)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert model.value_at(random_sky_point(rng)) >= 1.0
+
+    def test_bump_peaks_at_its_center(self):
+        bump = DensityBump(center=SkyPoint(ra=10.0, dec=10.0), sigma=5.0, amplitude=4.0)
+        at_center = bump.value_at(SkyPoint(ra=10.0, dec=10.0))
+        away = bump.value_at(SkyPoint(ra=100.0, dec=-40.0))
+        assert at_center == pytest.approx(4.0)
+        assert away < 0.1
+
+    def test_survey_default_reproducible(self):
+        a = SkyDensityModel.survey_default(seed=5)
+        b = SkyDensityModel.survey_default(seed=5)
+        point = SkyPoint(ra=42.0, dec=7.0)
+        assert a.value_at(point) == pytest.approx(b.value_at(point))
+
+
+class TestSkyPartition:
+    def test_invalid_object_count(self):
+        with pytest.raises(ValueError):
+            SkyPartition(object_count=0)
+
+    def test_mesh_level_must_have_enough_trixels(self):
+        with pytest.raises(ValueError):
+            SkyPartition(object_count=100, mesh_level=0)
+
+    def test_every_trixel_assigned_and_all_objects_used(self):
+        partition = SkyPartition(object_count=10)
+        seen = set()
+        for object_id in range(1, 11):
+            trixels = partition.trixels_of_object(object_id)
+            assert trixels, f"object {object_id} has no trixels"
+            seen.update(t.name for t in trixels)
+        assert len(seen) == len(partition.mesh)
+
+    def test_object_of_point_is_consistent_with_trixel_assignment(self):
+        partition = SkyPartition(object_count=12)
+        rng = np.random.default_rng(4)
+        for _ in range(30):
+            point = random_sky_point(rng)
+            object_id = partition.object_of_point(point)
+            assert 1 <= object_id <= 12
+
+    def test_objects_of_region_returns_sorted_ids(self):
+        partition = SkyPartition(object_count=20)
+        region = CircularRegion(center=SkyPoint(ra=50.0, dec=20.0), radius=10.0)
+        objects = partition.objects_of_region(region)
+        assert objects == sorted(objects)
+        assert objects, "a 10-degree region must overlap at least one object"
+
+    def test_point_object_is_among_region_objects(self):
+        partition = SkyPartition(object_count=20)
+        center = SkyPoint(ra=220.0, dec=-15.0)
+        region = CircularRegion(center=center, radius=5.0)
+        assert partition.object_of_point(center) in partition.objects_of_region(region)
+
+    def test_object_center_is_valid_point(self):
+        partition = SkyPartition(object_count=8)
+        center = partition.object_center(3)
+        assert -90.0 <= center.dec <= 90.0
+
+    def test_densities_positive_for_all_objects(self):
+        partition = build_partition(object_count=16)
+        densities = partition.object_densities()
+        assert set(densities) == set(range(1, 17))
+        assert all(value > 0 for value in densities.values())
+
+    def test_build_catalog_matches_total_size(self):
+        partition = build_partition(object_count=16)
+        catalog = partition.build_catalog(total_size=400.0, min_size=1.0)
+        assert catalog.total_size == pytest.approx(400.0, rel=1e-6)
+        assert len(catalog) == 16
+
+    def test_build_partition_is_reproducible(self):
+        first = build_partition(object_count=10, density_seed=3).object_densities()
+        second = build_partition(object_count=10, density_seed=3).object_densities()
+        assert first == second

@@ -1,0 +1,184 @@
+"""Tests for the SDSS query generator, the survey update generator and templates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.repository.objects import ObjectCatalog
+from repro.repository.queries import QueryTemplate
+from repro.workload.sdss import SDSSQueryGenerator, SDSSWorkloadConfig
+from repro.workload.templates import (
+    DEFAULT_TEMPLATES,
+    choose_template,
+    normalized_weights,
+    template_mix_summary,
+)
+from repro.workload.updates import SurveyUpdateGenerator, UpdateWorkloadConfig
+
+
+@pytest.fixture
+def catalog() -> ObjectCatalog:
+    return ObjectCatalog.heavy_tailed(count=40, total_size=400.0, seed=11)
+
+
+class TestTemplates:
+    def test_weights_normalise_to_one(self):
+        weights = normalized_weights(DEFAULT_TEMPLATES)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_choose_template_respects_universe(self, rng):
+        names = {choose_template(DEFAULT_TEMPLATES, rng).name for _ in range(200)}
+        assert names <= set(QueryTemplate.ALL)
+
+    def test_footprint_and_selectivity_draws_in_range(self, rng):
+        for template in DEFAULT_TEMPLATES:
+            for _ in range(50):
+                size = template.draw_footprint_size(rng)
+                assert template.min_objects <= size <= template.max_objects
+                assert 0.0 < template.draw_selectivity(rng) <= template.max_selectivity
+
+    def test_mix_summary_keys(self):
+        summary = template_mix_summary(DEFAULT_TEMPLATES)
+        assert set(summary) == {template.name for template in DEFAULT_TEMPLATES}
+        assert sum(summary.values()) == pytest.approx(1.0)
+
+
+class TestQueryGenerator:
+    def test_generates_requested_count(self, catalog):
+        generator = SDSSQueryGenerator(catalog, SDSSWorkloadConfig(query_count=200))
+        assert len(generator.generate()) == 200
+
+    def test_total_cost_matches_target(self, catalog):
+        config = SDSSWorkloadConfig(query_count=300, target_total_cost=120.0)
+        queries = SDSSQueryGenerator(catalog, config).generate()
+        assert sum(q.cost for q in queries) == pytest.approx(120.0, rel=1e-6)
+
+    def test_queries_only_touch_catalog_objects(self, catalog):
+        queries = SDSSQueryGenerator(catalog, SDSSWorkloadConfig(query_count=200)).generate()
+        valid = set(catalog.object_ids)
+        for query in queries:
+            assert set(query.object_ids) <= valid
+
+    def test_footprints_are_spatially_coherent(self, catalog):
+        """Multi-object footprints are contiguous runs of object ids."""
+        queries = SDSSQueryGenerator(catalog, SDSSWorkloadConfig(query_count=300)).generate()
+        for query in queries:
+            ids = sorted(query.object_ids)
+            if len(ids) > 1:
+                span = ids[-1] - ids[0]
+                assert span <= 2 * len(ids) or span >= len(catalog) - 2 * len(ids)
+
+    def test_same_seed_reproduces_trace(self, catalog):
+        config = SDSSWorkloadConfig(query_count=100, seed=5)
+        first = SDSSQueryGenerator(catalog, config).generate()
+        second = SDSSQueryGenerator(catalog, SDSSWorkloadConfig(query_count=100, seed=5)).generate()
+        assert [q.cost for q in first] == [q.cost for q in second]
+        assert [q.object_ids for q in first] == [q.object_ids for q in second]
+
+    def test_warmup_queries_are_cheaper(self, catalog):
+        config = SDSSWorkloadConfig(
+            query_count=400, warmup_fraction=0.5, warmup_cost_factor=0.05, seed=2
+        )
+        queries = SDSSQueryGenerator(catalog, config).generate()
+        first_half = sum(q.cost for q in queries[:200])
+        second_half = sum(q.cost for q in queries[200:])
+        assert first_half < 0.5 * second_half
+
+    def test_tolerant_fraction_controls_tolerances(self, catalog):
+        config = SDSSWorkloadConfig(query_count=400, tolerant_fraction=0.5, seed=9)
+        queries = SDSSQueryGenerator(catalog, config).generate()
+        tolerant = sum(1 for q in queries if q.tolerance > 0)
+        assert 100 < tolerant < 300
+
+    def test_zero_tolerant_fraction(self, catalog):
+        config = SDSSWorkloadConfig(query_count=100, tolerant_fraction=0.0)
+        queries = SDSSQueryGenerator(catalog, config).generate()
+        assert all(q.tolerance == 0.0 for q in queries)
+
+    def test_excluded_hotspots_not_in_focus(self, catalog):
+        excluded = catalog.object_ids[:20]
+        config = SDSSWorkloadConfig(query_count=50, excluded_hotspots=tuple(excluded))
+        generator = SDSSQueryGenerator(catalog, config)
+        assert not (set(generator.hotspot_model.current_focus) & set(excluded))
+
+    def test_custom_timestamps(self, catalog):
+        config = SDSSWorkloadConfig(query_count=10)
+        stamps = [float(10 * i) for i in range(1, 11)]
+        queries = SDSSQueryGenerator(catalog, config).generate(timestamps=stamps)
+        assert [q.timestamp for q in queries] == stamps
+
+    def test_timestamp_length_mismatch_raises(self, catalog):
+        generator = SDSSQueryGenerator(catalog, SDSSWorkloadConfig(query_count=10))
+        with pytest.raises(ValueError):
+            generator.generate(timestamps=[1.0, 2.0])
+
+    def test_query_ids_unique_and_increasing(self, catalog):
+        queries = SDSSQueryGenerator(catalog, SDSSWorkloadConfig(query_count=100)).generate()
+        ids = [q.query_id for q in queries]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+
+class TestUpdateGenerator:
+    def test_generates_requested_count(self, catalog):
+        generator = SurveyUpdateGenerator(catalog, UpdateWorkloadConfig(update_count=150))
+        assert len(generator.generate()) == 150
+
+    def test_total_cost_matches_target(self, catalog):
+        config = UpdateWorkloadConfig(update_count=200, target_total_cost=80.0)
+        updates = SurveyUpdateGenerator(catalog, config).generate()
+        assert sum(u.cost for u in updates) == pytest.approx(80.0, rel=1e-6)
+
+    def test_updates_cluster_in_observed_region(self, catalog):
+        config = UpdateWorkloadConfig(
+            update_count=400, region_fraction=0.3, scan_probability=0.95, seed=8
+        )
+        generator = SurveyUpdateGenerator(catalog, config)
+        region = set(generator.observed_region)
+        updates = generator.generate()
+        inside = sum(1 for u in updates if u.object_id in region)
+        assert inside / len(updates) > 0.85
+
+    def test_region_fraction_validation(self, catalog):
+        with pytest.raises(ValueError):
+            SurveyUpdateGenerator(catalog, UpdateWorkloadConfig(region_fraction=0.0))
+
+    def test_update_sizes_scale_with_density(self, catalog):
+        config = UpdateWorkloadConfig(update_count=600, region_fraction=1.0, scan_probability=0.0)
+        updates = SurveyUpdateGenerator(catalog, config).generate()
+        densities = catalog.densities()
+        dense_ids = {oid for oid, d in densities.items() if d > 2.0}
+        sparse_ids = {oid for oid, d in densities.items() if d < 0.5}
+        dense_costs = [u.cost for u in updates if u.object_id in dense_ids]
+        sparse_costs = [u.cost for u in updates if u.object_id in sparse_ids]
+        if dense_costs and sparse_costs:
+            assert np.mean(dense_costs) > np.mean(sparse_costs)
+
+    def test_same_seed_reproducible(self, catalog):
+        config = UpdateWorkloadConfig(update_count=100, seed=4)
+        first = SurveyUpdateGenerator(catalog, config).generate()
+        second = SurveyUpdateGenerator(catalog, UpdateWorkloadConfig(update_count=100, seed=4)).generate()
+        assert [u.cost for u in first] == [u.cost for u in second]
+        assert [u.object_id for u in first] == [u.object_id for u in second]
+
+    def test_scan_advances_through_region(self, catalog):
+        config = UpdateWorkloadConfig(update_count=10, scan_length=5, scan_width=3)
+        generator = SurveyUpdateGenerator(catalog, config)
+        first_scan = generator.current_scan()
+        generator.generate()
+        assert generator.current_scan() != first_scan or len(generator.observed_region) <= 3
+
+    def test_hotspot_objects_subset_of_region(self, catalog):
+        generator = SurveyUpdateGenerator(catalog, UpdateWorkloadConfig(update_count=10))
+        assert set(generator.hotspot_objects(5)) <= set(generator.observed_region)
+
+    def test_custom_timestamps_and_mismatch(self, catalog):
+        generator = SurveyUpdateGenerator(catalog, UpdateWorkloadConfig(update_count=5))
+        stamps = [1.0, 2.0, 3.0, 4.0, 5.0]
+        updates = generator.generate(timestamps=stamps)
+        assert [u.timestamp for u in updates] == stamps
+        with pytest.raises(ValueError):
+            SurveyUpdateGenerator(catalog, UpdateWorkloadConfig(update_count=5)).generate(
+                timestamps=[1.0]
+            )

@@ -1,0 +1,107 @@
+"""Tests for the trace model (events, statistics, JSONL round-trip)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.trace import QueryEvent, Trace, UpdateEvent
+from tests.conftest import make_query, make_update
+
+
+def build_trace() -> Trace:
+    events = [
+        UpdateEvent(make_update(1, object_id=1, cost=2.0, timestamp=1.0)),
+        QueryEvent(make_query(1, object_ids=[1, 2], cost=5.0, timestamp=2.0)),
+        UpdateEvent(make_update(2, object_id=2, cost=3.0, timestamp=3.0)),
+        QueryEvent(make_query(2, object_ids=[2], cost=4.0, timestamp=4.0, tolerance=10.0)),
+        QueryEvent(make_query(3, object_ids=[3], cost=1.0, timestamp=5.0)),
+    ]
+    return Trace(events)
+
+
+class TestTraceBasics:
+    def test_events_must_be_time_ordered(self):
+        with pytest.raises(ValueError):
+            Trace(
+                [
+                    QueryEvent(make_query(1, object_ids=[1], cost=1.0, timestamp=5.0)),
+                    QueryEvent(make_query(2, object_ids=[1], cost=1.0, timestamp=1.0)),
+                ]
+            )
+
+    def test_counts_and_views(self):
+        trace = build_trace()
+        assert len(trace) == 5
+        assert trace.query_count == 3
+        assert trace.update_count == 2
+        assert [q.query_id for q in trace.queries()] == [1, 2, 3]
+        assert [u.update_id for u in trace.updates()] == [1, 2]
+
+    def test_event_kind_accessors(self):
+        trace = build_trace()
+        kinds = [event.kind for event in trace]
+        assert kinds == ["update", "query", "update", "query", "query"]
+        assert trace[0].timestamp == pytest.approx(1.0)
+
+    def test_slicing_returns_trace(self):
+        trace = build_trace()
+        tail = trace.slice_events(2)
+        assert isinstance(tail, Trace)
+        assert len(tail) == 3
+        assert isinstance(trace[1:3], Trace)
+
+    def test_cost_totals(self):
+        trace = build_trace()
+        assert trace.total_query_cost() == pytest.approx(10.0)
+        assert trace.total_update_cost() == pytest.approx(5.0)
+
+    def test_objects_touched_counts_queries_and_updates(self):
+        trace = build_trace()
+        touched = trace.objects_touched()
+        assert touched[1] == 2  # one update, one query
+        assert touched[2] == 3  # one update, two queries
+        assert touched[3] == 1
+
+    def test_hotspot_helpers(self):
+        trace = build_trace()
+        assert trace.query_hotspots(1)[0][0] == 2
+        assert trace.update_hotspots(2) == [(1, 1), (2, 1)] or len(trace.update_hotspots(2)) == 2
+
+    def test_describe(self):
+        stats = build_trace().describe()
+        assert stats["events"] == 5
+        assert stats["queries"] == 3
+        assert stats["updates"] == 2
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        trace = build_trace()
+        path = tmp_path / "trace.jsonl"
+        trace.to_jsonl(path)
+        loaded = Trace.from_jsonl(path)
+        assert len(loaded) == len(trace)
+        assert loaded.total_query_cost() == pytest.approx(trace.total_query_cost())
+        assert loaded.total_update_cost() == pytest.approx(trace.total_update_cost())
+        original_query = trace.queries()[1]
+        loaded_query = loaded.queries()[1]
+        assert loaded_query.object_ids == original_query.object_ids
+        assert loaded_query.tolerance == pytest.approx(original_query.tolerance)
+        original_update = trace.updates()[0]
+        loaded_update = loaded.updates()[0]
+        assert loaded_update.object_id == original_update.object_id
+        assert loaded_update.kind == original_update.kind
+
+    def test_blank_lines_ignored(self, tmp_path):
+        trace = build_trace()
+        path = tmp_path / "trace.jsonl"
+        trace.to_jsonl(path)
+        content = path.read_text() + "\n\n"
+        path.write_text(content)
+        assert len(Trace.from_jsonl(path)) == len(trace)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "mystery"}\n')
+        with pytest.raises(ValueError):
+            Trace.from_jsonl(path)
