@@ -9,6 +9,8 @@ is both a timing measurement and a reproduction run.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments.config import ExperimentConfig, build_scenario
@@ -37,3 +39,13 @@ def benchmark_config() -> ExperimentConfig:
 def benchmark_scenario(benchmark_config):
     """The default benchmark scenario (catalogue + trace), built once."""
     return build_scenario(benchmark_config)
+
+
+def bench_jobs() -> int:
+    """Worker processes for sweep-capable benchmarks.
+
+    Defaults to 1 so timings stay comparable run-to-run; set the
+    ``REPRO_BENCH_JOBS`` environment variable to fan the experiment grids out
+    over that many processes on multicore hardware.
+    """
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import bench_config
+from benchmarks.conftest import bench_config, bench_jobs
 from repro.experiments import ablations
 from repro.experiments.config import build_scenario
 
@@ -25,7 +25,7 @@ def ablation_scenario():
 def test_ablation_loading_mechanism(benchmark, ablation_scenario):
     result = benchmark.pedantic(
         ablations.run_loading_ablation, args=(ABLATION_CONFIG, ablation_scenario),
-        rounds=1, iterations=1,
+        kwargs={"jobs": bench_jobs()}, rounds=1, iterations=1,
     )
     print()
     print(ablations.format_table("Loading mechanism (randomized vs counter)", result))
@@ -40,7 +40,7 @@ def test_ablation_loading_mechanism(benchmark, ablation_scenario):
 def test_ablation_eviction_policy(benchmark, ablation_scenario):
     result = benchmark.pedantic(
         ablations.run_eviction_ablation, args=(ABLATION_CONFIG, ablation_scenario),
-        rounds=1, iterations=1,
+        kwargs={"jobs": bench_jobs()}, rounds=1, iterations=1,
     )
     print()
     print(ablations.format_table("Eviction policy behind the LoadManager", result))
@@ -55,7 +55,7 @@ def test_ablation_eviction_policy(benchmark, ablation_scenario):
 def test_ablation_flow_method(benchmark, ablation_scenario):
     result = benchmark.pedantic(
         ablations.run_flow_method_ablation, args=(ABLATION_CONFIG, ablation_scenario),
-        rounds=1, iterations=1,
+        kwargs={"jobs": bench_jobs()}, rounds=1, iterations=1,
     )
     print()
     print(ablations.format_table("Max-flow solver (decisions must agree)", result))
@@ -99,7 +99,8 @@ def test_ablation_preshipping(benchmark, ablation_scenario):
 def test_ablation_benefit_sensitivity(benchmark, ablation_scenario):
     result = benchmark.pedantic(
         ablations.run_benefit_sensitivity, args=(ABLATION_CONFIG, ablation_scenario),
-        kwargs={"windows": (250, 1000, 2000), "alphas": (0.1, 0.3, 0.9)},
+        kwargs={"windows": (250, 1000, 2000), "alphas": (0.1, 0.3, 0.9),
+                "jobs": bench_jobs()},
         rounds=1, iterations=1,
     )
     print()

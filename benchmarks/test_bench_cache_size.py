@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import bench_config
+from benchmarks.conftest import bench_config, bench_jobs
 from repro.experiments import cache_size
 
 SWEEP_CONFIG = bench_config(query_count=4000, update_count=4000)
@@ -19,7 +19,8 @@ FRACTIONS = (0.1, 0.2, 0.3, 0.5, 1.0)
 def test_cache_size_sweep(benchmark):
     result = benchmark.pedantic(
         cache_size.run, args=(SWEEP_CONFIG,),
-        kwargs={"fractions": FRACTIONS, "policies": ("nocache", "vcover", "soptimal")},
+        kwargs={"fractions": FRACTIONS, "policies": ("nocache", "vcover", "soptimal"),
+                "jobs": bench_jobs()},
         rounds=1, iterations=1,
     )
     print()

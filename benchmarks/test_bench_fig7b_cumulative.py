@@ -9,12 +9,14 @@ from __future__ import annotations
 
 import pytest
 
+from benchmarks.conftest import bench_jobs
 from repro.experiments import fig7b
 
 
 @pytest.mark.benchmark(group="fig7b")
 def test_fig7b_cumulative_traffic(benchmark, benchmark_config):
-    result = benchmark.pedantic(fig7b.run, args=(benchmark_config,), rounds=1, iterations=1)
+    result = benchmark.pedantic(fig7b.run, args=(benchmark_config,),
+                                kwargs={"jobs": bench_jobs()}, rounds=1, iterations=1)
     print()
     print(fig7b.format_table(result))
     costs = result.final_costs()

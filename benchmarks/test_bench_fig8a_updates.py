@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import bench_config
+from benchmarks.conftest import bench_config, bench_jobs
 from repro.experiments import fig8a
 
 #: Smaller trace per sweep point: the sweep runs 5 policies x 3 multipliers.
@@ -21,7 +21,7 @@ MULTIPLIERS = (0.5, 1.0, 1.5)
 @pytest.mark.benchmark(group="fig8a")
 def test_fig8a_varying_updates(benchmark):
     result = benchmark.pedantic(
-        fig8a.run, args=(SWEEP_CONFIG,), kwargs={"multipliers": MULTIPLIERS}, rounds=1,
+        fig8a.run, args=(SWEEP_CONFIG,), kwargs={"multipliers": MULTIPLIERS, "jobs": bench_jobs()}, rounds=1,
         iterations=1,
     )
     print()

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import bench_config
+from benchmarks.conftest import bench_config, bench_jobs
 from repro.experiments import fig8b
 from repro.repository.catalog import PARTITION_LEVELS
 
@@ -22,7 +22,7 @@ SWEEP_CONFIG = bench_config(query_count=4000, update_count=4000)
 @pytest.mark.benchmark(group="fig8b")
 def test_fig8b_object_granularity(benchmark):
     result = benchmark.pedantic(
-        fig8b.run, args=(SWEEP_CONFIG,), kwargs={"object_counts": PARTITION_LEVELS},
+        fig8b.run, args=(SWEEP_CONFIG,), kwargs={"object_counts": PARTITION_LEVELS, "jobs": bench_jobs()},
         rounds=1, iterations=1,
     )
     print()

@@ -10,13 +10,14 @@ from __future__ import annotations
 
 import pytest
 
+from benchmarks.conftest import bench_jobs
 from repro.experiments import headline
 
 
 @pytest.mark.benchmark(group="headline")
 def test_headline_claims(benchmark, benchmark_config):
     result = benchmark.pedantic(
-        headline.run, args=(benchmark_config,), kwargs={"cache_fraction": 0.2},
+        headline.run, args=(benchmark_config,), kwargs={"cache_fraction": 0.2, "jobs": bench_jobs()},
         rounds=1, iterations=1,
     )
     print()

@@ -32,7 +32,12 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument("--seed", type=int, default=7, help="workload seed")
     parser.add_argument("--csv", type=Path, default=None,
                         help="optional path for the cumulative-traffic CSV")
-    return parser.parse_args()
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the per-policy runs")
+    args = parser.parse_args()
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    return args
 
 
 def main() -> None:
@@ -47,7 +52,7 @@ def main() -> None:
     print(f"scenario: {config.total_events} events over {config.object_count} objects, "
           f"cache {config.cache_fraction:.0%} of server")
     print("running all five policies (this takes a few seconds)...")
-    result = fig7b.run(config)
+    result = fig7b.run(config, jobs=args.jobs)
 
     print()
     print(fig7b.format_table(result))

@@ -1,6 +1,6 @@
 """Command-line interface for the Delta reproduction.
 
-Three subcommands cover the common workflows:
+Four subcommands cover the common workflows:
 
 ``generate-trace``
     Build an SDSS-style interleaved trace and write it to a JSONL file.
@@ -11,7 +11,12 @@ Three subcommands cover the common workflows:
 
 ``compare``
     Run several policies over the same scenario and print the Figure 7(b)
-    style comparison table.
+    style comparison table (``--jobs N`` runs the policies in parallel).
+
+``sweep``
+    Fan a ``policy x cache-fraction x seed`` grid out over worker processes
+    (``--jobs N``), print a per-point summary, and optionally write one JSON
+    artifact per grid point plus a manifest (``--out DIR``).
 
 The CLI is a thin veneer over :mod:`repro.experiments` and :mod:`repro.sim`;
 it exists so the library can be exercised without writing Python.  Install the
@@ -27,9 +32,10 @@ from typing import List, Optional, Sequence
 
 from repro.core.benefit import BenefitConfig
 from repro.experiments import fig7a
-from repro.experiments.config import ExperimentConfig, build_scenario
+from repro.experiments.config import ConfiguredScenario, ExperimentConfig, build_scenario
 from repro.sim.engine import EngineConfig
 from repro.sim.runner import compare_policies, default_policy_specs, run_policy
+from repro.sim.sweep import PointResult, SweepPoint, SweepRunner
 from repro.workload.trace import Trace
 
 #: Policies selectable from the command line.
@@ -47,6 +53,22 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache", type=float, default=0.3,
                         help="cache size as a fraction of the server (default: 0.3)")
     parser.add_argument("--seed", type=int, default=7, help="workload seed (default: 7)")
+
+
+def _positive_jobs(value: str) -> int:
+    """Argparse type for ``--jobs``: a worker count of at least 1."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if jobs < 1:
+        raise argparse.ArgumentTypeError("--jobs must be at least 1")
+    return jobs
+
+
+def _unique(values: Sequence) -> List:
+    """Drop duplicates, preserving first-seen order (grid axes)."""
+    return list(dict.fromkeys(values))
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -102,7 +124,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     scenario = build_scenario(config)
-    policies = tuple(args.policies) if args.policies else POLICY_CHOICES
+    policies = _unique(args.policies) if args.policies else POLICY_CHOICES
     comparison = compare_policies(
         scenario.catalog,
         scenario.trace,
@@ -114,6 +136,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         engine_config=EngineConfig(
             sample_every=config.sample_every, measure_from=config.measure_from
         ),
+        jobs=args.jobs,
     )
     print(comparison.as_table())
     summary = comparison.summary()
@@ -121,6 +144,57 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 "vcover_over_soptimal"):
         if key in summary:
             print(f"{key:>24}: {summary[key]:.2f}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    policies = _unique(args.policies) if args.policies else POLICY_CHOICES
+    fractions = (
+        _unique(args.cache_fractions) if args.cache_fractions
+        else (config.cache_fraction,)
+    )
+    seeds = _unique(args.seeds) if args.seeds else (config.seed,)
+    specs = default_policy_specs(
+        benefit_config=BenefitConfig(window_size=config.benefit_window),
+        include=policies,
+    )
+    engine = EngineConfig(
+        sample_every=config.sample_every, measure_from=config.measure_from
+    )
+
+    scenarios = {
+        f"seed{seed}": ConfiguredScenario(config.scaled(seed=seed)) for seed in seeds
+    }
+    # repr() is a round-trippable float encoding, so distinct fractions can
+    # never collide into one key (unlike %g, which rounds to 6 digits).
+    points = [
+        SweepPoint(
+            key=f"{spec.name}-c{fraction!r}-s{seed}",
+            spec=spec,
+            scenario=f"seed{seed}",
+            cache_fraction=fraction,
+            engine=engine,
+            seed=seed,
+            tags=(("fraction", fraction), ("seed", seed)),
+        )
+        for seed in seeds
+        for fraction in fractions
+        for spec in specs
+    ]
+
+    def progress(done: int, total: int, result: PointResult) -> None:
+        print(
+            f"[{done}/{total}] {result.point.key}: "
+            f"{result.run.measured_traffic:.1f} MB measured",
+            file=sys.stderr,
+        )
+
+    runner = SweepRunner(jobs=args.jobs, output_dir=args.out, progress=progress)
+    result = runner.run(points, scenarios)
+    print(result.format_summary())
+    if result.artifact_dir is not None:
+        print(f"wrote {len(result)} artifacts + manifest to {result.artifact_dir}")
     return 0
 
 
@@ -152,7 +226,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arguments(compare)
     compare.add_argument("--policies", nargs="*", choices=POLICY_CHOICES, default=None,
                          help="subset of policies to run (default: all five)")
+    compare.add_argument("--jobs", type=_positive_jobs, default=1,
+                         help="worker processes for the per-policy runs (default: 1)")
     compare.set_defaults(handler=_cmd_compare)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a policy x cache-fraction x seed grid in parallel"
+    )
+    _add_scenario_arguments(sweep)
+    sweep.add_argument("--policies", nargs="*", choices=POLICY_CHOICES, default=None,
+                       help="policies on the grid (default: all five)")
+    sweep.add_argument("--cache-fractions", nargs="*", type=float, default=None,
+                       help="cache fractions on the grid (default: the --cache value)")
+    sweep.add_argument("--seeds", nargs="*", type=int, default=None,
+                       help="workload seeds on the grid (default: the --seed value)")
+    sweep.add_argument("--jobs", type=_positive_jobs, default=1,
+                       help="worker processes for the grid points (default: 1)")
+    sweep.add_argument("--out", type=Path, default=None,
+                       help="directory for one JSON artifact per grid point")
+    sweep.set_defaults(handler=_cmd_sweep)
     return parser
 
 

@@ -76,6 +76,10 @@ class BaseCachePolicy(CachePolicy):
         #: Updates applied at the server but not yet at the cached copy,
         #: tracked only for resident objects, oldest first.
         self._outstanding: Dict[int, List[Update]] = {}
+        #: The same updates indexed by update id, so a decision naming an
+        #: update (e.g. a vertex-cover pick) resolves in O(1) instead of a
+        #: scan over every resident object's outstanding list.
+        self._outstanding_by_id: Dict[int, Update] = {}
         self._queries_seen = 0
         self._updates_seen = 0
 
@@ -106,6 +110,10 @@ class BaseCachePolicy(CachePolicy):
         """Outstanding (unshipped) updates for a resident object."""
         return list(self._outstanding.get(object_id, ()))
 
+    def outstanding_update(self, update_id: int) -> Optional[Update]:
+        """Look up one outstanding update by id (None if not outstanding)."""
+        return self._outstanding_by_id.get(update_id)
+
     def is_resident(self, object_id: int) -> bool:
         """Whether an object is currently cached."""
         return object_id in self._store
@@ -123,6 +131,7 @@ class BaseCachePolicy(CachePolicy):
         if update.object_id in self._store:
             self._store.mark_stale(update.object_id)
             self._outstanding.setdefault(update.object_id, []).append(update)
+            self._outstanding_by_id[update.update_id] = update
 
     # ------------------------------------------------------------------
     # Currency reasoning
@@ -171,6 +180,7 @@ class BaseCachePolicy(CachePolicy):
                 f"update {update.update_id} is not outstanding for object {object_id}"
             )
         pending.remove(update)
+        self._outstanding_by_id.pop(update.update_id, None)
         self._link.ship_update(
             update.cost, timestamp, object_id=object_id, update_id=update.update_id
         )
@@ -200,7 +210,7 @@ class BaseCachePolicy(CachePolicy):
         self._store.insert(
             object_id, size=size, version=snapshot.version, timestamp=timestamp
         )
-        self._outstanding.pop(object_id, None)
+        self._drop_outstanding(object_id)
         if charge:
             self._link.load_object(size, timestamp, object_id=object_id)
             return size
@@ -209,8 +219,13 @@ class BaseCachePolicy(CachePolicy):
     def evict_object(self, object_id: int) -> float:
         """Evict an object from the cache; returns the freed capacity."""
         record = self._store.evict(object_id)
-        self._outstanding.pop(object_id, None)
+        self._drop_outstanding(object_id)
         return record.size
+
+    def _drop_outstanding(self, object_id: int) -> None:
+        """Forget all outstanding updates of one object (evicted/reloaded)."""
+        for update in self._outstanding.pop(object_id, ()):
+            self._outstanding_by_id.pop(update.update_id, None)
 
     def record_cache_answer(self, query: Query) -> None:
         """Record a cache hit on every object the query touches."""

@@ -144,21 +144,17 @@ class VCoverPolicy(BaseCachePolicy):
         outcome = QueryOutcome(query_id=query.query_id, action=QueryAction.ANSWERED_AT_CACHE)
 
         # Ship every update the cover picked (they are now cost-justified).
-        if decision.ship_update_ids:
-            by_id = {
-                update.update_id: update
-                for updates in (
-                    self.outstanding_updates(object_id) for object_id in self.resident_objects()
-                )
-                for update in updates
-            }
-            for update_id in decision.ship_update_ids:
-                update = by_id.get(update_id)
-                if update is None:
-                    continue
-                cost = self.ship_update(update, query.timestamp)
-                outcome.update_shipping_cost += cost
-                outcome.shipped_updates.append(update_id)
+        # The cover may pick updates beyond this query's own objects (vertices
+        # that interact with earlier, still-active queries), so picks are
+        # resolved through the policy's O(1) outstanding-update index rather
+        # than by rebuilding a map over every resident object's updates.
+        for update_id in decision.ship_update_ids:
+            update = self.outstanding_update(update_id)
+            if update is None:
+                continue
+            cost = self.ship_update(update, query.timestamp)
+            outcome.update_shipping_cost += cost
+            outcome.shipped_updates.append(update_id)
 
         if decision.ship_query:
             cost = self.ship_query(query)

@@ -18,14 +18,19 @@ This experiment quantifies them on the standard scenario:
   discussion: proactively pushing updates for recently used cached objects
   reduces the fraction of queries delayed by synchronous update shipping, at
   the cost of some extra update traffic.
+
+Every variant is a picklable :class:`repro.sim.runner.PolicySpec` built with
+:func:`repro.sim.runner.vcover_spec` / :func:`repro.sim.runner.benefit_spec`,
+and each ablation runs its variants as one :class:`repro.sim.sweep.SweepRunner`
+sweep, so ``jobs > 1`` runs them in parallel worker processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.core.benefit import BenefitConfig, BenefitPolicy
+from repro.core.benefit import BenefitConfig
 from repro.core.vcover import VCoverConfig, VCoverPolicy
 from repro.experiments.config import ExperimentConfig, Scenario, build_scenario
 from repro.network.latency import LatencyModel, ResponseTimeSummary, summarise_response_times
@@ -33,7 +38,8 @@ from repro.network.link import NetworkLink
 from repro.repository.server import Repository
 from repro.sim.engine import EngineConfig
 from repro.sim.results import RunResult
-from repro.sim.runner import PolicySpec, run_policy
+from repro.sim.runner import PolicySpec, benefit_spec, vcover_spec
+from repro.sim.sweep import DEFAULT_SCENARIO, InlineScenario, SweepPoint, SweepRunner
 from repro.workload.trace import QueryEvent, UpdateEvent
 
 
@@ -62,72 +68,83 @@ def _engine_config(config: ExperimentConfig) -> EngineConfig:
     return EngineConfig(sample_every=config.sample_every, measure_from=config.measure_from)
 
 
+def _run_variants(
+    variants: Sequence[Tuple[str, PolicySpec]],
+    config: ExperimentConfig,
+    scenario: Scenario,
+    jobs: int,
+) -> AblationResult:
+    """Run labelled policy variants over one scenario as a single sweep."""
+    points = [
+        SweepPoint(
+            key=spec.name,
+            spec=spec,
+            cache_capacity=scenario.cache_capacity,
+            engine=_engine_config(config),
+            seed=config.seed,
+            tags=(("label", label),),
+        )
+        for label, spec in variants
+    ]
+    sweep = SweepRunner(jobs=jobs).run(
+        points,
+        scenarios={DEFAULT_SCENARIO: InlineScenario(scenario.catalog, scenario.trace)},
+    )
+    result = AblationResult()
+    for point_result in sweep.points:
+        result.record(point_result.point.tag("label"), point_result.run)
+    return result
+
+
 def run_loading_ablation(
-    config: Optional[ExperimentConfig] = None, scenario: Optional[Scenario] = None
+    config: Optional[ExperimentConfig] = None,
+    scenario: Optional[Scenario] = None,
+    jobs: int = 1,
 ) -> AblationResult:
     """Randomized vs counter-based loading in the LoadManager."""
     config = config or ExperimentConfig()
     scenario = scenario or build_scenario(config)
-    result = AblationResult()
-    for label, randomized in (("randomized", True), ("counter", False)):
-        spec = PolicySpec(
-            f"vcover-{label}",
-            lambda repo, cap, link, randomized=randomized: VCoverPolicy(
-                repo, cap, link, VCoverConfig(randomized_loading=randomized)
+    variants = [
+        (
+            label,
+            vcover_spec(
+                VCoverConfig(randomized_loading=randomized), name=f"vcover-{label}"
             ),
         )
-        result.record(
-            label,
-            run_policy(spec, scenario.catalog, scenario.trace, scenario.cache_capacity,
-                       engine_config=_engine_config(config)),
-        )
-    return result
+        for label, randomized in (("randomized", True), ("counter", False))
+    ]
+    return _run_variants(variants, config, scenario, jobs)
 
 
 def run_eviction_ablation(
     config: Optional[ExperimentConfig] = None,
     scenario: Optional[Scenario] = None,
     policies: Sequence[str] = ("gds", "lru", "lfu", "landlord"),
+    jobs: int = 1,
 ) -> AblationResult:
     """GDS vs LRU vs LFU vs Landlord as the LoadManager's object cache."""
     config = config or ExperimentConfig()
     scenario = scenario or build_scenario(config)
-    result = AblationResult()
-    for name in policies:
-        spec = PolicySpec(
-            f"vcover-{name}",
-            lambda repo, cap, link, name=name: VCoverPolicy(
-                repo, cap, link, VCoverConfig(eviction_policy=name)
-            ),
-        )
-        result.record(
-            name,
-            run_policy(spec, scenario.catalog, scenario.trace, scenario.cache_capacity,
-                       engine_config=_engine_config(config)),
-        )
-    return result
+    variants = [
+        (name, vcover_spec(VCoverConfig(eviction_policy=name), name=f"vcover-{name}"))
+        for name in policies
+    ]
+    return _run_variants(variants, config, scenario, jobs)
 
 
 def run_flow_method_ablation(
-    config: Optional[ExperimentConfig] = None, scenario: Optional[Scenario] = None
+    config: Optional[ExperimentConfig] = None,
+    scenario: Optional[Scenario] = None,
+    jobs: int = 1,
 ) -> AblationResult:
     """Edmonds-Karp vs Dinic in the UpdateManager (results must agree)."""
     config = config or ExperimentConfig()
     scenario = scenario or build_scenario(config)
-    result = AblationResult()
-    for method in ("edmonds-karp", "dinic"):
-        spec = PolicySpec(
-            f"vcover-{method}",
-            lambda repo, cap, link, method=method: VCoverPolicy(
-                repo, cap, link, VCoverConfig(flow_method=method)
-            ),
-        )
-        result.record(
-            method,
-            run_policy(spec, scenario.catalog, scenario.trace, scenario.cache_capacity,
-                       engine_config=_engine_config(config)),
-        )
-    return result
+    variants = [
+        (method, vcover_spec(VCoverConfig(flow_method=method), name=f"vcover-{method}"))
+        for method in ("edmonds-karp", "dinic")
+    ]
+    return _run_variants(variants, config, scenario, jobs)
 
 
 def run_benefit_sensitivity(
@@ -135,36 +152,29 @@ def run_benefit_sensitivity(
     scenario: Optional[Scenario] = None,
     windows: Sequence[int] = (250, 500, 1000, 2000),
     alphas: Sequence[float] = (0.1, 0.3, 0.6, 0.9),
+    jobs: int = 1,
 ) -> AblationResult:
     """Benefit's sensitivity to its window size and smoothing parameter."""
     config = config or ExperimentConfig()
     scenario = scenario or build_scenario(config)
-    result = AblationResult()
-    for window in windows:
-        spec = PolicySpec(
-            f"benefit-w{window}",
-            lambda repo, cap, link, window=window: BenefitPolicy(
-                repo, cap, link, BenefitConfig(window_size=window)
-            ),
-        )
-        result.record(
+    variants = [
+        (
             f"window={window}",
-            run_policy(spec, scenario.catalog, scenario.trace, scenario.cache_capacity,
-                       engine_config=_engine_config(config)),
+            benefit_spec(BenefitConfig(window_size=window), name=f"benefit-w{window}"),
         )
-    for alpha in alphas:
-        spec = PolicySpec(
-            f"benefit-a{alpha}",
-            lambda repo, cap, link, alpha=alpha: BenefitPolicy(
-                repo, cap, link, BenefitConfig(window_size=config.benefit_window, alpha=alpha)
+        for window in windows
+    ]
+    variants.extend(
+        (
+            f"alpha={alpha}",
+            benefit_spec(
+                BenefitConfig(window_size=config.benefit_window, alpha=alpha),
+                name=f"benefit-a{alpha}",
             ),
         )
-        result.record(
-            f"alpha={alpha}",
-            run_policy(spec, scenario.catalog, scenario.trace, scenario.cache_capacity,
-                       engine_config=_engine_config(config)),
-        )
-    return result
+        for alpha in alphas
+    )
+    return _run_variants(variants, config, scenario, jobs)
 
 
 @dataclass
@@ -186,6 +196,9 @@ def run_preship_ablation(
     traffic (it only ships updates earlier, sometimes unnecessarily) but it
     reduces the fraction of queries that must wait for synchronous update
     shipping before they can be answered at the cache.
+
+    Runs serially: it needs the per-query outcome stream for the latency
+    summary, which the sweep runner's aggregated results do not carry.
     """
     config = config or ExperimentConfig()
     scenario = scenario or build_scenario(config)

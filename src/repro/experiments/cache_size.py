@@ -6,6 +6,10 @@ headline result at 20 %.  This experiment sweeps the cache fraction and
 reports VCover's (and optionally the other policies') final traffic, showing
 the diminishing returns of a larger cache: most of the benefit is already
 there at 20-30 % because the query hotspots are much smaller than the server.
+
+The whole ``fraction x policy`` grid is one :class:`repro.sim.sweep.SweepRunner`
+sweep over a single scenario, so ``jobs > 1`` runs the grid points in
+parallel worker processes.
 """
 
 from __future__ import annotations
@@ -14,10 +18,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.benefit import BenefitConfig
-from repro.experiments.config import ExperimentConfig, Scenario, build_scenario
+from repro.experiments.config import ExperimentConfig, build_scenario
 from repro.sim.engine import EngineConfig
 from repro.sim.results import ComparisonResult
-from repro.sim.runner import compare_policies, default_policy_specs
+from repro.sim.runner import default_policy_specs
+from repro.sim.sweep import DEFAULT_SCENARIO, InlineScenario, SweepPoint, SweepRunner
 
 #: Default sweep of cache sizes, as fractions of the server size.
 DEFAULT_FRACTIONS = (0.1, 0.2, 0.3, 0.5, 0.75, 1.0)
@@ -42,26 +47,39 @@ def run(
     config: Optional[ExperimentConfig] = None,
     fractions: Sequence[float] = DEFAULT_FRACTIONS,
     policies: Sequence[str] = ("nocache", "benefit", "vcover", "soptimal"),
+    jobs: int = 1,
 ) -> CacheSizeSweepResult:
     """Sweep the cache size over the same scenario (trace built once)."""
     config = config or ExperimentConfig()
     scenario = build_scenario(config)
+    specs = default_policy_specs(
+        benefit_config=BenefitConfig(window_size=config.benefit_window),
+        include=policies,
+    )
+    engine = EngineConfig(
+        sample_every=config.sample_every, measure_from=config.measure_from
+    )
+    points = [
+        SweepPoint(
+            key=f"{spec.name}@{fraction:g}",
+            spec=spec,
+            cache_fraction=fraction,
+            engine=engine,
+            seed=config.seed,
+            tags=(("fraction", fraction),),
+        )
+        for fraction in fractions
+        for spec in specs
+    ]
+    sweep = SweepRunner(jobs=jobs).run(
+        points,
+        scenarios={DEFAULT_SCENARIO: InlineScenario(scenario.catalog, scenario.trace)},
+    )
+
     traffic: Dict[str, List[float]] = {name: [] for name in policies}
     comparisons: List[ComparisonResult] = []
     for fraction in fractions:
-        specs = default_policy_specs(
-            benefit_config=BenefitConfig(window_size=config.benefit_window),
-            include=policies,
-        )
-        comparison = compare_policies(
-            scenario.catalog,
-            scenario.trace,
-            cache_fraction=fraction,
-            specs=specs,
-            engine_config=EngineConfig(
-                sample_every=config.sample_every, measure_from=config.measure_from
-            ),
-        )
+        comparison = sweep.comparison(fraction=fraction)
         comparisons.append(comparison)
         for name in policies:
             traffic[name].append(comparison.traffic_of(name))

@@ -17,7 +17,7 @@ ratios the paper reports.  Benchmarks scale the event counts up.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import astuple, dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.repository.catalog import DEFAULT_SCALE, PAPER_SERVER_SIZE_MB, sdss_catalog
@@ -115,6 +115,29 @@ class ExperimentConfig:
     def scaled(self, **overrides) -> "ExperimentConfig":
         """A copy of the config with the given fields replaced."""
         return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class ConfiguredScenario:
+    """A picklable sweep scenario source that rebuilds from a config.
+
+    Handed to :class:`repro.sim.sweep.SweepRunner` instead of a built trace:
+    only the (small) :class:`ExperimentConfig` crosses the process boundary,
+    and each worker rebuilds the scenario deterministically from its seeds.
+    ``cache_key()`` lets a worker memoise the build, so a scenario shared by
+    many grid points is constructed at most once per process.
+    """
+
+    config: ExperimentConfig
+
+    def realise(self):
+        """Build the scenario; returns ``(catalog, trace)``."""
+        scenario = build_scenario(self.config)
+        return scenario.catalog, scenario.trace
+
+    def cache_key(self):
+        """Hashable identity of the build recipe (all config knobs)."""
+        return ("configured", astuple(self.config))
 
 
 @dataclass

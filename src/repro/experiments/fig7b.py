@@ -50,8 +50,13 @@ class CumulativeTrafficResult:
 def run(
     config: Optional[ExperimentConfig] = None,
     policies: Sequence[str] = POLICY_ORDER,
+    jobs: int = 1,
 ) -> CumulativeTrafficResult:
-    """Run the Figure 7(b) comparison on the default (or given) scenario."""
+    """Run the Figure 7(b) comparison on the default (or given) scenario.
+
+    With ``jobs > 1`` the per-policy runs execute in parallel worker
+    processes (results are identical to a serial run).
+    """
     config = config or ExperimentConfig()
     scenario = build_scenario(config)
     specs = default_policy_specs(
@@ -67,6 +72,7 @@ def run(
         engine_config=EngineConfig(
             sample_every=config.sample_every, measure_from=config.measure_from
         ),
+        jobs=jobs,
     )
     return CumulativeTrafficResult(comparison=comparison, scenario=scenario)
 

@@ -13,18 +13,25 @@ Figure 8(a) keeps the query workload fixed and sweeps the number of updates
 The sweep is expressed as multipliers of the baseline update count; update
 *traffic* scales proportionally with update count, as in the paper (each
 update's size distribution is unchanged; there are simply more of them).
+
+Each multiplier defines its own scenario, so the grid is handed to
+:class:`repro.sim.sweep.SweepRunner` as config recipes
+(:class:`repro.experiments.config.ConfiguredScenario`): workers rebuild each
+scenario deterministically from its seeds, memoised per process, and
+``jobs > 1`` runs the ``multiplier x policy`` grid in parallel.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.benefit import BenefitConfig
-from repro.experiments.config import ExperimentConfig, build_scenario
+from repro.experiments.config import ConfiguredScenario, ExperimentConfig
 from repro.sim.engine import EngineConfig
 from repro.sim.results import ComparisonResult
-from repro.sim.runner import compare_policies, default_policy_specs
+from repro.sim.runner import default_policy_specs
+from repro.sim.sweep import SweepPoint, SweepRunner
 
 #: Default sweep: x0.5 .. x1.5 of the baseline update count (paper: 125k..375k
 #: against a 250k baseline).
@@ -53,13 +60,18 @@ def run(
     config: Optional[ExperimentConfig] = None,
     multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
     policies: Sequence[str] = ("nocache", "replica", "benefit", "vcover", "soptimal"),
+    jobs: int = 1,
 ) -> UpdateSweepResult:
     """Run the update-count sweep."""
     config = config or ExperimentConfig()
-    traffic: Dict[str, List[float]] = {name: [] for name in policies}
-    update_counts: List[int] = []
-    comparisons: List[ComparisonResult] = []
+    specs = default_policy_specs(
+        benefit_config=BenefitConfig(window_size=config.benefit_window),
+        include=policies,
+    )
 
+    scenarios: Dict[str, ConfiguredScenario] = {}
+    points: List[SweepPoint] = []
+    update_counts: List[int] = []
     for multiplier in multipliers:
         update_count = int(round(config.update_count * multiplier))
         update_counts.append(update_count)
@@ -70,20 +82,30 @@ def run(
             # size distribution), exactly as in the paper's sweep.
             update_traffic_fraction=config.update_traffic_fraction * multiplier,
         )
-        scenario = build_scenario(swept)
-        specs = default_policy_specs(
-            benefit_config=BenefitConfig(window_size=config.benefit_window),
-            include=policies,
+        scenario_name = f"updates-x{multiplier:g}"
+        scenarios[scenario_name] = ConfiguredScenario(swept)
+        engine = EngineConfig(
+            sample_every=config.sample_every, measure_from=swept.measure_from
         )
-        comparison = compare_policies(
-            scenario.catalog,
-            scenario.trace,
-            cache_fraction=config.cache_fraction,
-            specs=specs,
-            engine_config=EngineConfig(
-                sample_every=config.sample_every, measure_from=swept.measure_from
-            ),
+        points.extend(
+            SweepPoint(
+                key=f"{spec.name}-x{multiplier:g}",
+                spec=spec,
+                scenario=scenario_name,
+                cache_fraction=config.cache_fraction,
+                engine=engine,
+                seed=config.seed,
+                tags=(("multiplier", multiplier),),
+            )
+            for spec in specs
         )
+
+    sweep = SweepRunner(jobs=jobs).run(points, scenarios)
+
+    traffic: Dict[str, List[float]] = {name: [] for name in policies}
+    comparisons: List[ComparisonResult] = []
+    for multiplier in multipliers:
+        comparison = sweep.comparison(multiplier=multiplier)
         comparisons.append(comparison)
         for name in policies:
             traffic[name].append(comparison.traffic_of(name))

@@ -11,6 +11,10 @@ Because the partitionings differ, the query/update traces are regenerated per
 level from the *same* generator seeds and the same total traffic volumes, so
 the only thing that changes is the granularity at which the sky is cut --
 mirroring how the paper re-partitions the same underlying table.
+
+Each level is one grid point of a :class:`repro.sim.sweep.SweepRunner` sweep
+(the scenario is rebuilt inside the worker from its config recipe), so
+``jobs > 1`` replays the levels in parallel.
 """
 
 from __future__ import annotations
@@ -18,11 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.config import ExperimentConfig, build_scenario
+from repro.experiments.config import ConfiguredScenario, ExperimentConfig
 from repro.repository.catalog import PARTITION_LEVELS
 from repro.sim.engine import EngineConfig
 from repro.sim.results import RunResult
-from repro.sim.runner import PolicySpec, default_policy_specs, run_policy
+from repro.sim.runner import default_policy_specs
+from repro.sim.sweep import SweepPoint, SweepRunner
 
 
 @dataclass
@@ -45,26 +50,41 @@ def run(
     config: Optional[ExperimentConfig] = None,
     object_counts: Sequence[int] = PARTITION_LEVELS,
     policy: str = "vcover",
+    jobs: int = 1,
 ) -> GranularityResult:
     """Replay the workload against every requested partitioning level."""
     config = config or ExperimentConfig()
+    spec = default_policy_specs(include=(policy,))[0]
+
+    scenarios: Dict[str, ConfiguredScenario] = {}
+    points: List[SweepPoint] = []
+    for object_count in object_counts:
+        level_config = replace(config, object_count=object_count)
+        scenario_name = f"objects-{object_count}"
+        scenarios[scenario_name] = ConfiguredScenario(level_config)
+        points.append(
+            SweepPoint(
+                key=f"{spec.name}-{object_count}",
+                spec=spec,
+                scenario=scenario_name,
+                cache_fraction=config.cache_fraction,
+                engine=EngineConfig(
+                    sample_every=config.sample_every,
+                    measure_from=level_config.measure_from,
+                ),
+                seed=config.seed,
+                tags=(("object_count", object_count),),
+            )
+        )
+
+    sweep = SweepRunner(jobs=jobs).run(points, scenarios)
+
     traffic: Dict[int, float] = {}
     series: Dict[int, List[Tuple[int, float]]] = {}
     runs: Dict[int, RunResult] = {}
-
-    for object_count in object_counts:
-        level_config = replace(config, object_count=object_count)
-        scenario = build_scenario(level_config)
-        spec = default_policy_specs(include=(policy,))[0]
-        run_result = run_policy(
-            spec,
-            scenario.catalog,
-            scenario.trace,
-            cache_capacity=scenario.cache_capacity,
-            engine_config=EngineConfig(
-                sample_every=config.sample_every, measure_from=level_config.measure_from
-            ),
-        )
+    for point_result in sweep.points:
+        object_count = point_result.point.tag("object_count")
+        run_result = point_result.run
         traffic[object_count] = run_result.measured_traffic
         series[object_count] = run_result.time_series.as_rows()
         runs[object_count] = run_result

@@ -16,14 +16,15 @@ default setup (cache 30 %, Section 6.1), so they are measured there.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core.benefit import BenefitConfig
 from repro.experiments.config import ExperimentConfig, build_scenario
 from repro.sim.engine import EngineConfig
 from repro.sim.results import ComparisonResult
-from repro.sim.runner import compare_policies, default_policy_specs
+from repro.sim.runner import default_policy_specs
+from repro.sim.sweep import DEFAULT_SCENARIO, InlineScenario, SweepPoint, SweepRunner
 
 
 @dataclass
@@ -71,26 +72,15 @@ class HeadlineResult:
         }
 
 
-def _compare_at(config: ExperimentConfig, cache_fraction: float) -> ComparisonResult:
-    scenario = build_scenario(config)
-    specs = default_policy_specs(
-        benefit_config=BenefitConfig(window_size=config.benefit_window)
-    )
-    return compare_policies(
-        scenario.catalog,
-        scenario.trace,
-        cache_fraction=cache_fraction,
-        specs=specs,
-        engine_config=EngineConfig(
-            sample_every=config.sample_every, measure_from=config.measure_from
-        ),
-    )
-
-
 def run(
-    config: Optional[ExperimentConfig] = None, cache_fraction: float = 0.2
+    config: Optional[ExperimentConfig] = None,
+    cache_fraction: float = 0.2,
+    jobs: int = 1,
 ) -> HeadlineResult:
     """Measure the headline claims.
+
+    Both cache sizes run as one ``fraction x policy`` sweep over a single
+    scenario, so ``jobs > 1`` runs all ten policy runs in parallel.
 
     Parameters
     ----------
@@ -99,13 +89,37 @@ def run(
         claims 2/3 run).
     cache_fraction:
         Cache size for the claim-1 run (the paper's "one-fifth of the server").
+    jobs:
+        Worker processes to fan the runs out over (1 = serial).
     """
     config = config or ExperimentConfig()
-    small = _compare_at(config, cache_fraction)
-    default = _compare_at(config, config.cache_fraction)
+    scenario = build_scenario(config)
+    specs = default_policy_specs(
+        benefit_config=BenefitConfig(window_size=config.benefit_window)
+    )
+    engine = EngineConfig(
+        sample_every=config.sample_every, measure_from=config.measure_from
+    )
+    fractions = [("small", cache_fraction), ("default", config.cache_fraction)]
+    points = [
+        SweepPoint(
+            key=f"{spec.name}@{label}",
+            spec=spec,
+            cache_fraction=fraction,
+            engine=engine,
+            seed=config.seed,
+            tags=(("setup", label),),
+        )
+        for label, fraction in fractions
+        for spec in specs
+    ]
+    sweep = SweepRunner(jobs=jobs).run(
+        points,
+        scenarios={DEFAULT_SCENARIO: InlineScenario(scenario.catalog, scenario.trace)},
+    )
     return HeadlineResult(
-        small_cache_comparison=small,
-        default_comparison=default,
+        small_cache_comparison=sweep.comparison(setup="small"),
+        default_comparison=sweep.comparison(setup="default"),
         small_cache_fraction=cache_fraction,
         default_cache_fraction=config.cache_fraction,
     )

@@ -5,14 +5,36 @@ update events against each policy and reports cumulative network traffic.
 This package provides the event-driven engine that does the replay
 (:mod:`repro.sim.engine`), the metric collectors that record cumulative and
 per-mechanism traffic over the event sequence (:mod:`repro.sim.metrics`), a
-results container with comparison helpers (:mod:`repro.sim.results`) and a
-multi-policy runner used by every experiment (:mod:`repro.sim.runner`).
+results container with comparison helpers (:mod:`repro.sim.results`), a
+multi-policy runner used by every experiment (:mod:`repro.sim.runner`) and a
+parallel sweep runner that fans experiment grids out over worker processes
+(:mod:`repro.sim.sweep`).
 """
 
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import TrafficTimeSeries
 from repro.sim.results import ComparisonResult, RunResult
-from repro.sim.runner import PolicySpec, compare_policies, run_policy
+from repro.sim.runner import (
+    PolicySpec,
+    benefit_spec,
+    compare_policies,
+    default_policy_specs,
+    nocache_spec,
+    replica_spec,
+    run_policy,
+    soptimal_spec,
+    vcover_spec,
+)
+from repro.sim.sweep import (
+    InlineScenario,
+    PointResult,
+    SweepPoint,
+    SweepResult,
+    SweepRunner,
+    derive_seed,
+    load_artifacts,
+    write_artifacts,
+)
 
 __all__ = [
     "SimulationEngine",
@@ -21,5 +43,19 @@ __all__ = [
     "RunResult",
     "PolicySpec",
     "compare_policies",
+    "default_policy_specs",
     "run_policy",
+    "nocache_spec",
+    "replica_spec",
+    "benefit_spec",
+    "vcover_spec",
+    "soptimal_spec",
+    "InlineScenario",
+    "PointResult",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRunner",
+    "derive_seed",
+    "load_artifacts",
+    "write_artifacts",
 ]

@@ -5,16 +5,22 @@ Every experiment in the paper compares several policies over the same trace.
 repository (replaying updates mutates server-side object sizes, so policies
 must not share one), a fresh network link, runs the simulation engine, and
 collects the results into a :class:`repro.sim.results.ComparisonResult`.
+With ``jobs > 1`` the per-policy runs are fanned out over worker processes
+via :class:`repro.sim.sweep.SweepRunner`; results are identical either way.
 
 Policies are described by :class:`PolicySpec` -- a name plus a factory -- so
 experiments can parameterise policy construction (cache size, VCover/Benefit
-configuration) without the runner knowing about any specific policy.
+configuration) without the runner knowing about any specific policy.  The
+factories are built from module-level functions via :func:`functools.partial`
+(never lambdas or closures) so that every spec can be pickled to a sweep
+worker process.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.benefit import BenefitConfig, BenefitPolicy
 from repro.core.policy import CachePolicy
@@ -33,10 +39,83 @@ PolicyFactory = Callable[[Repository, float, NetworkLink], CachePolicy]
 
 @dataclass(frozen=True)
 class PolicySpec:
-    """A named policy constructor used by the runner."""
+    """A named policy constructor used by the runner.
+
+    The factory must be picklable (a module-level function, or a
+    :func:`functools.partial` over one) so the spec can cross a process
+    boundary when a sweep runs with ``jobs > 1``.
+    """
 
     name: str
     factory: PolicyFactory
+
+
+# ----------------------------------------------------------------------
+# Module-level factories (picklable; see PolicySpec docstring)
+# ----------------------------------------------------------------------
+def _build_nocache(
+    repository: Repository, capacity: float, link: NetworkLink
+) -> NoCachePolicy:
+    return NoCachePolicy(repository, capacity, link)
+
+
+def _build_replica(
+    repository: Repository, capacity: float, link: NetworkLink
+) -> ReplicaPolicy:
+    return ReplicaPolicy(repository, capacity, link)
+
+
+def _build_soptimal(
+    repository: Repository, capacity: float, link: NetworkLink
+) -> SOptimalPolicy:
+    return SOptimalPolicy(repository, capacity, link)
+
+
+def _build_benefit(
+    repository: Repository,
+    capacity: float,
+    link: NetworkLink,
+    config: Optional[BenefitConfig] = None,
+) -> BenefitPolicy:
+    return BenefitPolicy(repository, capacity, link, config or BenefitConfig())
+
+
+def _build_vcover(
+    repository: Repository,
+    capacity: float,
+    link: NetworkLink,
+    config: Optional[VCoverConfig] = None,
+) -> VCoverPolicy:
+    return VCoverPolicy(repository, capacity, link, config or VCoverConfig())
+
+
+def nocache_spec(name: str = "nocache") -> PolicySpec:
+    """Spec for the NoCache yardstick."""
+    return PolicySpec(name, _build_nocache)
+
+
+def replica_spec(name: str = "replica") -> PolicySpec:
+    """Spec for the Replica yardstick."""
+    return PolicySpec(name, _build_replica)
+
+
+def soptimal_spec(name: str = "soptimal") -> PolicySpec:
+    """Spec for the SOptimal hindsight yardstick."""
+    return PolicySpec(name, _build_soptimal)
+
+
+def benefit_spec(
+    config: Optional[BenefitConfig] = None, name: str = "benefit"
+) -> PolicySpec:
+    """Spec for the Benefit baseline, optionally with a custom config."""
+    return PolicySpec(name, partial(_build_benefit, config=config))
+
+
+def vcover_spec(
+    config: Optional[VCoverConfig] = None, name: str = "vcover"
+) -> PolicySpec:
+    """Spec for the VCover algorithm, optionally with a custom config."""
+    return PolicySpec(name, partial(_build_vcover, config=config))
 
 
 def default_policy_specs(
@@ -53,26 +132,12 @@ def default_policy_specs(
     include:
         Which policies to build specs for (in the returned order).
     """
-    vcover_config = vcover_config or VCoverConfig()
-    benefit_config = benefit_config or BenefitConfig()
     available: Dict[str, PolicySpec] = {
-        "nocache": PolicySpec(
-            "nocache", lambda repo, cap, link: NoCachePolicy(repo, cap, link)
-        ),
-        "replica": PolicySpec(
-            "replica", lambda repo, cap, link: ReplicaPolicy(repo, cap, link)
-        ),
-        "benefit": PolicySpec(
-            "benefit",
-            lambda repo, cap, link: BenefitPolicy(repo, cap, link, benefit_config),
-        ),
-        "vcover": PolicySpec(
-            "vcover",
-            lambda repo, cap, link: VCoverPolicy(repo, cap, link, vcover_config),
-        ),
-        "soptimal": PolicySpec(
-            "soptimal", lambda repo, cap, link: SOptimalPolicy(repo, cap, link)
-        ),
+        "nocache": nocache_spec(),
+        "replica": replica_spec(),
+        "benefit": benefit_spec(benefit_config),
+        "vcover": vcover_spec(vcover_config),
+        "soptimal": soptimal_spec(),
     }
     unknown = [name for name in include if name not in available]
     if unknown:
@@ -98,10 +163,11 @@ def run_policy(
 def compare_policies(
     catalog: ObjectCatalog,
     trace: Trace,
-    cache_fraction: float = 0.3,
+    cache_fraction: Optional[float] = None,
     specs: Optional[Sequence[PolicySpec]] = None,
     engine_config: Optional[EngineConfig] = None,
     cache_capacity: Optional[float] = None,
+    jobs: int = 1,
 ) -> ComparisonResult:
     """Run several policies over the same trace and collect the results.
 
@@ -113,21 +179,39 @@ def compare_policies(
     trace:
         The event sequence.
     cache_fraction:
-        Cache capacity as a fraction of the catalogue's total size (the
-        paper's default is 0.3); ignored when ``cache_capacity`` is given.
+        Cache capacity as a fraction of the catalogue's total size; defaults
+        to :data:`repro.sim.sweep.DEFAULT_CACHE_FRACTION` (the paper's 0.3).
+        Ignored when ``cache_capacity`` is given.
     specs:
         Policies to run; defaults to the full paper set.
     engine_config:
         Engine configuration (sampling, measurement window).
     cache_capacity:
         Absolute cache capacity in MB, overriding ``cache_fraction``.
+    jobs:
+        Worker processes to fan the per-policy runs out over (1 = serial).
+        Each run is isolated either way, so the results are identical.
     """
+    # Imported here: sweep builds on this module, so the module-level import
+    # goes sweep -> runner and only this function takes the reverse edge.
+    from repro.sim.sweep import DEFAULT_SCENARIO, InlineScenario, SweepPoint, SweepRunner
+
     specs = list(specs) if specs is not None else default_policy_specs()
-    if cache_capacity is None:
-        cache_capacity = catalog.total_size * cache_fraction
-    runs: Dict[str, RunResult] = {}
-    for spec in specs:
-        runs[spec.name] = run_policy(
-            spec, catalog, trace, cache_capacity, engine_config=engine_config
+    points = [
+        SweepPoint(
+            key=spec.name,
+            spec=spec,
+            scenario=DEFAULT_SCENARIO,
+            cache_fraction=cache_fraction,
+            cache_capacity=cache_capacity,
+            engine=engine_config or EngineConfig(),
         )
+        for spec in specs
+    ]
+    sweep = SweepRunner(jobs=jobs).run(
+        points, scenarios={DEFAULT_SCENARIO: InlineScenario(catalog, trace)}
+    )
+    runs: Dict[str, RunResult] = {
+        result.point.spec.name: result.run for result in sweep.points
+    }
     return ComparisonResult(runs=runs, trace_description=trace.describe())

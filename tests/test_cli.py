@@ -74,3 +74,42 @@ class TestCompare:
         output = capsys.readouterr().out
         for policy in ("nocache", "replica", "benefit", "vcover", "soptimal"):
             assert policy in output
+
+
+class TestSweep:
+    def test_sweep_grid_writes_one_artifact_per_point(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        code = main([
+            "sweep", "--objects", "16", "--queries", "300", "--updates", "300",
+            "--policies", "nocache", "vcover", "--cache-fractions", "0.2", "0.4",
+            "--seeds", "3", "5", "--jobs", "2", "--out", str(out),
+        ])
+        assert code == 0
+        artifacts = sorted(path.name for path in out.glob("*.json"))
+        assert "manifest.json" in artifacts
+        assert len(artifacts) == 2 * 2 * 2 + 1  # policy x fraction x seed + manifest
+        output = capsys.readouterr().out
+        assert "sweep: 8 points, jobs=2" in output
+        assert "wrote 8 artifacts" in output
+
+    def test_sweep_defaults_to_scenario_cache_and_seed(self, capsys):
+        code = main(["sweep", *SMALL, "--policies", "nocache"])
+        assert code == 0
+        assert "sweep: 1 points, jobs=1" in capsys.readouterr().out
+
+    def test_compare_with_jobs_flag(self, capsys):
+        code = main(["compare", *SMALL, "--policies", "nocache", "vcover",
+                     "--jobs", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "nocache" in output and "vcover" in output
+
+    def test_sweep_deduplicates_grid_axes(self, capsys):
+        code = main(["sweep", *SMALL, "--policies", "nocache", "nocache",
+                     "--seeds", "3", "3"])
+        assert code == 0
+        assert "sweep: 1 points" in capsys.readouterr().out
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--jobs", "0"])
