@@ -18,6 +18,13 @@ Four subcommands cover the common workflows:
     (``--jobs N``), print a per-point summary, and optionally write one JSON
     artifact per grid point plus a manifest (``--out DIR``).
 
+``topology``
+    Replay the scenario against a fleet of ``--sites N`` caches sharing one
+    repository (queries split across sites by sky region or hotspot
+    affinity, updates broadcast), one multi-cache run per ``--policies``
+    entry, fanned out over ``--jobs N`` workers; prints per-site and
+    aggregate traffic.
+
 The CLI is a thin veneer over :mod:`repro.experiments` and :mod:`repro.sim`;
 it exists so the library can be exercised without writing Python.  Install the
 package and invoke ``python -m repro.cli --help``.
@@ -36,6 +43,8 @@ from repro.experiments.config import ConfiguredScenario, ExperimentConfig, build
 from repro.sim.engine import EngineConfig
 from repro.sim.runner import compare_policies, default_policy_specs, run_policy
 from repro.sim.sweep import PointResult, SweepPoint, SweepRunner
+from repro.topology.spec import TopologySpec
+from repro.workload.partition import PARTITION_STRATEGIES
 from repro.workload.trace import Trace
 
 #: Policies selectable from the command line.
@@ -55,15 +64,23 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7, help="workload seed (default: 7)")
 
 
-def _positive_jobs(value: str) -> int:
-    """Argparse type for ``--jobs``: a worker count of at least 1."""
-    try:
-        jobs = int(value)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
-    if jobs < 1:
-        raise argparse.ArgumentTypeError("--jobs must be at least 1")
-    return jobs
+def _at_least_one(flag: str):
+    """Argparse type factory for counts that must be >= 1 (--jobs, --sites)."""
+
+    def parse(value: str) -> int:
+        try:
+            number = int(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+        if number < 1:
+            raise argparse.ArgumentTypeError(f"{flag} must be at least 1")
+        return number
+
+    return parse
+
+
+_positive_jobs = _at_least_one("--jobs")
+_positive_sites = _at_least_one("--sites")
 
 
 def _unique(values: Sequence) -> List:
@@ -198,6 +215,73 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_topology(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    if args.sites > args.objects:
+        # Both strategies need at least one object per site (region would
+        # raise deep in the partitioner, affinity would leave sites empty).
+        print(
+            f"error: --sites {args.sites} exceeds the object count "
+            f"({args.objects}); every site needs at least one object",
+            file=sys.stderr,
+        )
+        return 2
+    policies = _unique(args.policies) if args.policies else ("vcover", "nocache")
+    specs = default_policy_specs(
+        benefit_config=BenefitConfig(window_size=config.benefit_window),
+        include=policies,
+    )
+    engine = EngineConfig(
+        sample_every=config.sample_every, measure_from=config.measure_from
+    )
+    points = [
+        SweepPoint(
+            key=f"{spec.name}-x{args.sites}",
+            spec=spec,
+            engine=engine,
+            seed=config.seed,
+            tags=(("sites", args.sites), ("policy", spec.name)),
+            topology=TopologySpec.uniform(
+                spec,
+                args.sites,
+                cache_fraction=config.cache_fraction,
+                strategy=args.strategy,
+            ),
+        )
+        for spec in specs
+    ]
+    scenarios = {"default": ConfiguredScenario(config)}
+    runner = SweepRunner(jobs=args.jobs, output_dir=args.out)
+    result = runner.run(points, scenarios)
+
+    print(f"topology: {args.sites} sites, strategy={args.strategy}")
+    print(f"{'policy':<12} {'site':<10} {'traffic (MB)':>14} {'cache answers':>14}")
+    for point_result in result.points:
+        run = point_result.run
+        stats = run.policy_stats
+        for site in range(args.sites):
+            queries = int(
+                stats[f"site{site}_queries_answered_at_cache"]
+                + stats[f"site{site}_queries_shipped"]
+            )
+            fraction = (
+                stats[f"site{site}_queries_answered_at_cache"] / queries
+                if queries
+                else 0.0
+            )
+            print(
+                f"{point_result.point.spec.name:<12} site {site:<5} "
+                f"{stats[f'site{site}_measured_traffic']:>14.1f} {fraction:>14.2%}"
+            )
+        print(
+            f"{point_result.point.spec.name:<12} {'aggregate':<10} "
+            f"{run.measured_traffic:>14.1f} {run.cache_answer_fraction:>14.2%}"
+        )
+    if result.artifact_dir is not None:
+        print(f"wrote {len(result)} artifacts + manifest to {result.artifact_dir}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -245,6 +329,22 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--out", type=Path, default=None,
                        help="directory for one JSON artifact per grid point")
     sweep.set_defaults(handler=_cmd_sweep)
+
+    topology = subparsers.add_parser(
+        "topology", help="replay a fleet of N caches sharing one repository"
+    )
+    _add_scenario_arguments(topology)
+    topology.add_argument("--sites", type=_positive_sites, default=2,
+                          help="number of cache sites in the fleet (default: 2)")
+    topology.add_argument("--strategy", choices=PARTITION_STRATEGIES, default="region",
+                          help="object-to-site assignment strategy (default: region)")
+    topology.add_argument("--policies", nargs="*", choices=POLICY_CHOICES, default=None,
+                          help="policies to run, one fleet each (default: vcover nocache)")
+    topology.add_argument("--jobs", type=_positive_jobs, default=1,
+                          help="worker processes for the per-policy fleets (default: 1)")
+    topology.add_argument("--out", type=Path, default=None,
+                          help="directory for one JSON artifact per fleet")
+    topology.set_defaults(handler=_cmd_topology)
     return parser
 
 

@@ -243,6 +243,10 @@ class InteractionGraph:
         """Number of cover computations performed so far."""
         return self._covers_computed
 
+    def active_update_ids(self) -> FrozenSet[int]:
+        """Ids of the update vertices currently in the remainder subgraph."""
+        return frozenset(self._active_update_keys)
+
     def to_instance(self) -> BipartiteCoverInstance:
         """Export the remainder subgraph as a standalone cover instance."""
         return self._flow.to_instance(active_only=True)

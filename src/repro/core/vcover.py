@@ -130,6 +130,18 @@ class VCoverPolicy(BaseCachePolicy):
             return self._handle_in_cache(query)
         return self._handle_missing(query)
 
+    def ship_update(self, update: Update, timestamp: float) -> float:
+        """Ship one outstanding update, keeping the interaction graph in sync.
+
+        Updates shipped outside a cover decision (preshipping, any future
+        direct ship path) would otherwise leave their vertex in the interaction
+        graph, inflating later cover weights; for cover-picked updates the
+        graph has already retired the vertex, so the drop is a no-op.
+        """
+        cost = super().ship_update(update, timestamp)
+        self._update_manager.forget_updates((update.update_id,))
+        return cost
+
     # ------------------------------------------------------------------
     # In-cache path: UpdateManager
     # ------------------------------------------------------------------

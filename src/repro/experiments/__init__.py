@@ -14,6 +14,7 @@ from repro.experiments import (
     fig8a,
     fig8b,
     headline,
+    multisite,
     warmup,
 )
 from repro.experiments.config import ExperimentConfig, Scenario, build_scenario
@@ -29,5 +30,6 @@ __all__ = [
     "fig8a",
     "fig8b",
     "headline",
+    "multisite",
     "warmup",
 ]

@@ -6,13 +6,16 @@ This package provides the event-driven engine that does the replay
 (:mod:`repro.sim.engine`), the metric collectors that record cumulative and
 per-mechanism traffic over the event sequence (:mod:`repro.sim.metrics`), a
 results container with comparison helpers (:mod:`repro.sim.results`), a
-multi-policy runner used by every experiment (:mod:`repro.sim.runner`) and a
+multi-policy runner used by every experiment (:mod:`repro.sim.runner`), a
 parallel sweep runner that fans experiment grids out over worker processes
-(:mod:`repro.sim.sweep`).
+(:mod:`repro.sim.sweep`), and a multi-cache engine that replays one trace
+against a fleet of sites sharing a repository (:mod:`repro.sim.multicache`,
+specified via :mod:`repro.topology`).
 """
 
 from repro.sim.engine import SimulationEngine
-from repro.sim.metrics import TrafficTimeSeries
+from repro.sim.metrics import CacheOccupancySeries, TrafficTimeSeries
+from repro.sim.multicache import MultiCacheEngine, run_topology
 from repro.sim.results import ComparisonResult, RunResult
 from repro.sim.runner import (
     PolicySpec,
@@ -38,6 +41,9 @@ from repro.sim.sweep import (
 
 __all__ = [
     "SimulationEngine",
+    "MultiCacheEngine",
+    "run_topology",
+    "CacheOccupancySeries",
     "TrafficTimeSeries",
     "ComparisonResult",
     "RunResult",

@@ -76,7 +76,11 @@ class SimulationEngine:
         """
         config = self._config
         series = TrafficTimeSeries(link, sample_every=config.sample_every)
-        occupancy = CacheOccupancySeries(sample_every=config.sample_every)
+        occupancy: Optional[CacheOccupancySeries] = (
+            CacheOccupancySeries(sample_every=config.sample_every)
+            if hasattr(policy, "store")
+            else None
+        )
 
         if config.allow_offline_preparation:
             policy.prepare(trace)
@@ -102,7 +106,7 @@ class SimulationEngine:
                 raise TypeError(f"unknown event type {type(event)!r}")
 
             series.maybe_sample(index + 1)
-            if hasattr(policy, "store"):
+            if occupancy is not None:
                 store = policy.store
                 occupancy.maybe_sample(index + 1, store.used, store.capacity, len(store))
             if progress is not None and (index + 1) % config.sample_every == 0:
@@ -127,4 +131,5 @@ class SimulationEngine:
             events_processed=total_events,
             policy_stats=policy_stats,
             warmup_traffic=warmup_traffic if config.measure_from > 0 else 0.0,
+            occupancy=occupancy,
         )

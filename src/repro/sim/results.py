@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.sim.metrics import TrafficTimeSeries
+from repro.sim.metrics import CacheOccupancySeries, TrafficTimeSeries
 
 
 @dataclass
@@ -30,6 +30,8 @@ class RunResult:
     policy_stats: Dict[str, float] = field(default_factory=dict)
     #: Traffic accumulated before the measurement window opened (warm-up).
     warmup_traffic: float = 0.0
+    #: Cache occupancy samples over the run (None for store-less policies).
+    occupancy: Optional[CacheOccupancySeries] = None
 
     @property
     def measured_traffic(self) -> float:
@@ -52,6 +54,32 @@ class RunResult:
             "cache_answer_fraction": self.cache_answer_fraction,
             **{f"traffic_{key}": value for key, value in self.traffic_by_mechanism.items()},
         }
+
+    def as_payload(self) -> Dict[str, object]:
+        """JSON-serialisable representation (used by sweep artifacts)."""
+        payload: Dict[str, object] = {
+            "policy_name": self.policy_name,
+            "total_traffic": self.total_traffic,
+            "warmup_traffic": self.warmup_traffic,
+            "measured_traffic": self.measured_traffic,
+            "traffic_by_mechanism": dict(self.traffic_by_mechanism),
+            "queries_answered_at_cache": self.queries_answered_at_cache,
+            "queries_shipped": self.queries_shipped,
+            "cache_answer_fraction": self.cache_answer_fraction,
+            "events_processed": self.events_processed,
+            "time_series": [list(row) for row in self.time_series.as_rows()],
+            "policy_stats": dict(self.policy_stats),
+        }
+        if self.occupancy is not None:
+            payload["occupancy"] = [
+                [index, fraction, resident]
+                for index, fraction, resident in zip(
+                    self.occupancy.event_indices,
+                    self.occupancy.occupancy,
+                    self.occupancy.resident_objects,
+                )
+            ]
+        return payload
 
 
 @dataclass

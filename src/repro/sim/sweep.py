@@ -49,8 +49,10 @@ from typing import (
 
 from repro.repository.objects import ObjectCatalog
 from repro.sim.engine import EngineConfig
+from repro.sim.multicache import run_topology
 from repro.sim.results import ComparisonResult, RunResult
 from repro.sim.runner import PolicySpec, run_policy
+from repro.topology.spec import TopologySpec
 from repro.workload.trace import Trace
 
 #: Name of the scenario used when a sweep has only one.
@@ -101,7 +103,17 @@ class SweepPoint:
         Unique identifier within the sweep; also the artifact file stem.
     spec:
         The policy to run.  Must be picklable (see
-        :func:`repro.sim.runner.default_policy_specs`).
+        :func:`repro.sim.runner.default_policy_specs`).  For topology points
+        this is the (uniform) site policy, so comparison slices keyed by
+        policy name keep working.
+    topology:
+        Optional :class:`repro.topology.spec.TopologySpec`.  When set, the
+        point runs a multi-cache replay via
+        :func:`repro.sim.multicache.run_topology` instead of a single-cache
+        run; the recorded result is the fleet aggregate, with per-site
+        traffic folded into ``policy_stats`` (per-site cache sizes come from
+        the topology spec, so ``cache_fraction``/``cache_capacity`` are
+        ignored).
     scenario:
         Name of the scenario source this point runs on (a key into the
         ``scenarios`` mapping given to :meth:`SweepRunner.run`).
@@ -127,6 +139,7 @@ class SweepPoint:
     engine: EngineConfig = field(default_factory=EngineConfig)
     seed: int = 0
     tags: Tuple[Tuple[str, object], ...] = ()
+    topology: Optional[TopologySpec] = None
 
     def tag(self, name: str, default: object = None) -> object:
         """The value of one grid coordinate (or ``default``)."""
@@ -137,7 +150,7 @@ class SweepPoint:
 
     def metadata(self) -> Dict[str, object]:
         """Flat point description used in artifacts and reports."""
-        return {
+        data: Dict[str, object] = {
             "key": self.key,
             "policy": self.spec.name,
             "scenario": self.scenario,
@@ -146,6 +159,9 @@ class SweepPoint:
             "seed": self.seed,
             "tags": dict(self.tags),
         }
+        if self.topology is not None:
+            data["topology"] = self.topology.metadata()
+        return data
 
 
 @dataclass
@@ -159,23 +175,10 @@ class PointResult:
 
     def payload(self) -> Dict[str, object]:
         """JSON-serialisable artifact content for this point."""
-        run = self.run
         return {
             **self.point.metadata(),
             "trace": dict(self.trace_description),
-            "result": {
-                "policy_name": run.policy_name,
-                "total_traffic": run.total_traffic,
-                "warmup_traffic": run.warmup_traffic,
-                "measured_traffic": run.measured_traffic,
-                "traffic_by_mechanism": dict(run.traffic_by_mechanism),
-                "queries_answered_at_cache": run.queries_answered_at_cache,
-                "queries_shipped": run.queries_shipped,
-                "cache_answer_fraction": run.cache_answer_fraction,
-                "events_processed": run.events_processed,
-                "time_series": [list(row) for row in run.time_series.as_rows()],
-                "policy_stats": dict(run.policy_stats),
-            },
+            "result": self.run.as_payload(),
         }
 
 
@@ -282,6 +285,11 @@ def _run_point(
     """Execute one grid point (runs inside a worker process)."""
     source = _WORKER_SCENARIOS[point.scenario]
     catalog, trace = _realise(source)
+    if point.topology is not None:
+        topology_result = run_topology(
+            point.topology, catalog, trace, engine_config=point.engine
+        )
+        return index, topology_result.aggregate, trace.describe()
     capacity = point.cache_capacity
     if capacity is None:
         fraction = (

@@ -13,7 +13,7 @@ partitioner used by the granularity experiment
 """
 
 from repro.sky.htm import HTMMesh, Trixel
-from repro.sky.partition import SkyPartition, build_partition
+from repro.sky.partition import SkyPartition, build_partition, contiguous_sky_slices
 from repro.sky.regions import CircularRegion, GreatCircleScan, SkyPoint
 
 __all__ = [
@@ -21,6 +21,7 @@ __all__ = [
     "Trixel",
     "SkyPartition",
     "build_partition",
+    "contiguous_sky_slices",
     "CircularRegion",
     "GreatCircleScan",
     "SkyPoint",

@@ -237,3 +237,31 @@ def build_partition(
         mesh_level=mesh_level,
         density=SkyDensityModel.survey_default(seed=density_seed),
     )
+
+
+def contiguous_sky_slices(
+    object_ids: Sequence[int], slice_count: int
+) -> List[List[int]]:
+    """Split object ids into ``slice_count`` contiguous sky slices.
+
+    Object ids are assigned contiguously over the sky (trixels are grouped in
+    name order, and names encode spatial position), so contiguous id ranges
+    are spatially compact sky regions.  Used by the multi-cache topology to
+    give each site its own region of the sky; sizes differ by at most one
+    object, and slices are deterministic for a given input order.
+    """
+    if slice_count <= 0:
+        raise ValueError("slice_count must be positive")
+    ids = sorted(object_ids)
+    if len(ids) < slice_count:
+        raise ValueError(
+            f"cannot split {len(ids)} objects into {slice_count} slices"
+        )
+    base, remainder = divmod(len(ids), slice_count)
+    slices: List[List[int]] = []
+    index = 0
+    for slice_index in range(slice_count):
+        span = base + (1 if slice_index < remainder else 0)
+        slices.append(ids[index : index + span])
+        index += span
+    return slices

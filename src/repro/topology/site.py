@@ -1,0 +1,48 @@
+"""Runtime state of one middleware-cache site.
+
+A :class:`Site` is one cache of the fleet: its decision policy, its own
+:class:`repro.network.link.NetworkLink` to the shared repository, and its
+resolved cache capacity.  :func:`build_sites` instantiates a
+:class:`repro.topology.spec.TopologySpec` against a shared repository --
+every site's policy talks to the *same* :class:`Repository` (the paper's
+single backend) but charges traffic to its own link, so per-site and
+aggregate traffic can both be read off the ledgers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.policy import CachePolicy
+from repro.network.link import NetworkLink
+from repro.repository.server import Repository
+from repro.topology.spec import TopologySpec
+
+
+@dataclass
+class Site:
+    """One live cache site of a topology."""
+
+    site_id: int
+    policy: CachePolicy
+    link: NetworkLink
+    capacity: float
+
+
+def build_sites(spec: TopologySpec, repository: Repository) -> List[Site]:
+    """Instantiate every site of a topology against one shared repository.
+
+    Capacities are resolved against the catalogue's base size (not the grown
+    server size), matching how single-cache runs size their cache.
+    """
+    server_size = repository.catalog.total_size
+    sites: List[Site] = []
+    for site_spec in spec.sites:
+        link = NetworkLink()
+        capacity = site_spec.resolve_capacity(server_size)
+        policy = site_spec.spec.factory(repository, capacity, link)
+        sites.append(
+            Site(site_id=site_spec.site_id, policy=policy, link=link, capacity=capacity)
+        )
+    return sites

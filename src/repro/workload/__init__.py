@@ -22,6 +22,7 @@ JSONL round-trips so generated traces can be saved, inspected and replayed.
 
 from repro.workload.hotspots import HotspotModel, HotspotPhase
 from repro.workload.mixer import interleave
+from repro.workload.partition import PARTITION_STRATEGIES, TracePartitioner
 from repro.workload.sdss import SDSSQueryGenerator, SDSSWorkloadConfig
 from repro.workload.trace import QueryEvent, Trace, TraceEvent, UpdateEvent
 from repro.workload.updates import SurveyUpdateGenerator, UpdateWorkloadConfig
@@ -30,6 +31,8 @@ __all__ = [
     "HotspotModel",
     "HotspotPhase",
     "interleave",
+    "PARTITION_STRATEGIES",
+    "TracePartitioner",
     "SDSSQueryGenerator",
     "SDSSWorkloadConfig",
     "QueryEvent",

@@ -126,6 +126,71 @@ class TestPreshipping:
         policy.on_update(update)
         assert len(policy.outstanding_updates(1)) == 1
 
+    def test_preship_drops_shipped_updates_from_interaction_graph(self):
+        # Regression: preshipping used to ship outstanding updates without
+        # telling the UpdateManager, leaving stale vertices in the
+        # interaction graph that inflate later cover weights.
+        catalog = ObjectCatalog.from_sizes({1: 10.0})
+        repository = Repository(catalog)
+        link = NetworkLink()
+        policy = VCoverPolicy(
+            repository, 40.0, link, VCoverConfig(preship=True, preship_min_hits=1)
+        )
+        graph = policy.update_manager.graph
+
+        # Load object 1 (expensive first query justifies the load).
+        policy.on_query(make_query(1, object_ids=[1], cost=50.0, timestamp=1.0))
+        assert policy.is_resident(1)
+        # An expensive update arrives before any cache hit: no preship.
+        update = make_update(1, object_id=1, cost=100.0, timestamp=2.0)
+        repository.ingest_update(update)
+        policy.on_update(update)
+        assert len(policy.outstanding_updates(1)) == 1
+        # A cheap query interacts with it; the cover ships the query and the
+        # update vertex stays in the remainder graph.
+        policy.on_query(make_query(2, object_ids=[1], cost=1.0, timestamp=3.0))
+        assert graph.active_update_ids() == {update.update_id}
+        # A tolerant query is answered at the cache, making the object hot.
+        policy.on_query(
+            make_query(3, object_ids=[1], cost=5.0, timestamp=4.0, tolerance=100.0)
+        )
+        # The next update triggers preshipping of everything outstanding;
+        # the shipped updates must leave the graph too.
+        second = make_update(2, object_id=1, cost=2.0, timestamp=5.0)
+        repository.ingest_update(second)
+        policy.on_update(second)
+        assert policy.outstanding_updates(1) == []
+        assert graph.active_update_ids() == frozenset()
+
+    def test_graph_never_tracks_non_outstanding_updates(self):
+        # Invariant behind the fix: every update vertex in the interaction
+        # graph corresponds to an update the policy still holds outstanding.
+        config = ExperimentConfig(
+            object_count=20, query_count=600, update_count=600, sample_every=200
+        )
+        scenario = build_scenario(config)
+        repository = Repository(scenario.catalog)
+        link = NetworkLink()
+        policy = VCoverPolicy(
+            repository,
+            scenario.cache_capacity,
+            link,
+            VCoverConfig(preship=True, preship_min_hits=1),
+        )
+        graph = policy.update_manager.graph
+        for event in scenario.trace:
+            if event.kind == "update":
+                repository.ingest_update(event.update)
+                policy.on_update(event.update)
+            else:
+                policy.on_query(event.query)
+            outstanding = {
+                update.update_id
+                for object_id in policy.resident_objects()
+                for update in policy.outstanding_updates(object_id)
+            }
+            assert graph.active_update_ids() <= outstanding
+
     def test_preship_ablation_improves_latency_not_traffic(self):
         config = ExperimentConfig(
             object_count=20, query_count=800, update_count=800, sample_every=200

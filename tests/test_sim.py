@@ -118,6 +118,35 @@ class TestEngine:
         result = engine.run(policy, build_trace(30), link)
         assert "update_manager_decisions" in result.policy_stats
 
+    def test_occupancy_series_attached_to_result(self, catalog):
+        # Regression: the engine used to build and sample the occupancy
+        # series but never attach it to the RunResult.
+        repository = Repository(catalog)
+        link = NetworkLink()
+        policy = VCoverPolicy(repository, 30.0, link, VCoverConfig())
+        engine = SimulationEngine(repository, EngineConfig(sample_every=10))
+        result = engine.run(policy, build_trace(30), link)
+        assert result.occupancy is not None
+        assert result.occupancy.event_indices == [10, 20, 30]
+        assert len(result.occupancy.occupancy) == 3
+        assert result.occupancy.resident_objects[-1] == len(policy.store)
+
+    def test_occupancy_serialised_in_payload(self, catalog):
+        repository = Repository(catalog)
+        link = NetworkLink()
+        policy = VCoverPolicy(repository, 30.0, link, VCoverConfig())
+        engine = SimulationEngine(repository, EngineConfig(sample_every=10))
+        result = engine.run(policy, build_trace(30), link)
+        payload = result.as_payload()
+        assert payload["occupancy"] == [
+            [index, fraction, resident]
+            for index, fraction, resident in zip(
+                result.occupancy.event_indices,
+                result.occupancy.occupancy,
+                result.occupancy.resident_objects,
+            )
+        ]
+
 
 class TestResults:
     def test_run_result_summary_and_fraction(self, catalog):
