@@ -8,23 +8,29 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import bench_config, bench_jobs
-from repro.experiments import cache_size
+from benchmarks.conftest import bench_jobs
+from repro import api
 
-SWEEP_CONFIG = bench_config(query_count=4000, update_count=4000)
 FRACTIONS = (0.1, 0.2, 0.3, 0.5, 1.0)
 
 
 @pytest.mark.benchmark(group="cache-size")
 def test_cache_size_sweep(benchmark):
     result = benchmark.pedantic(
-        cache_size.run, args=(SWEEP_CONFIG,),
-        kwargs={"fractions": FRACTIONS, "policies": ("nocache", "vcover", "soptimal"),
-                "jobs": bench_jobs()},
+        api.run_experiment, args=("cache_size",),
+        kwargs={
+            "overrides": {
+                "query_count": 4000,
+                "update_count": 4000,
+                "fractions": FRACTIONS,
+                "policies": ("nocache", "vcover", "soptimal"),
+            },
+            "jobs": bench_jobs(),
+        },
         rounds=1, iterations=1,
     )
     print()
-    print(cache_size.format_table(result))
+    print(api.format_result("cache_size", result))
     for fraction, traffic in zip(result.fractions, result.traffic["vcover"]):
         benchmark.extra_info[f"vcover_at_{int(fraction * 100)}pct"] = round(traffic, 1)
 

@@ -11,17 +11,26 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import bench_jobs
-from repro.experiments import headline
+from repro import api
 
 
 @pytest.mark.benchmark(group="headline")
 def test_headline_claims(benchmark, benchmark_config):
     result = benchmark.pedantic(
-        headline.run, args=(benchmark_config,), kwargs={"cache_fraction": 0.2, "jobs": bench_jobs()},
+        api.run_experiment,
+        args=("headline",),
+        kwargs={
+            "overrides": {
+                "query_count": benchmark_config.query_count,
+                "update_count": benchmark_config.update_count,
+                "small_cache_fraction": 0.2,
+            },
+            "jobs": bench_jobs(),
+        },
         rounds=1, iterations=1,
     )
     print()
-    print(headline.format_report(result))
+    print(api.format_result("headline", result))
     benchmark.extra_info["traffic_reduction_vs_nocache"] = round(
         result.traffic_reduction_vs_nocache, 3
     )

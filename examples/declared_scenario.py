@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Run a scenario declared purely as data (no experiment code authored).
+
+The scenario lives in ``examples/scenarios/smallsky.json`` -- just a name
+and the :class:`repro.experiments.config.ExperimentConfig` knobs.  This
+script shows the whole declarative workflow through :mod:`repro.api`:
+
+1. load and validate the file (``api.load_scenario``),
+2. run it against a subset of policies (``api.run_scenario``),
+3. print the comparison table.
+
+The same file works from the command line with no Python at all::
+
+    python -m repro scenario validate examples/scenarios/smallsky.json
+    python -m repro scenario run examples/scenarios/smallsky.json --jobs 2
+
+Run with::
+
+    python examples/declared_scenario.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import api
+
+SCENARIO_FILE = Path(__file__).parent / "scenarios" / "smallsky.json"
+
+
+def main() -> None:
+    spec = api.load_scenario(SCENARIO_FILE)
+    config = spec.config
+    print(f"scenario {spec.name!r}: {config.total_events} events over "
+          f"{config.object_count} objects, cache {config.cache_fraction:.0%} "
+          f"of the server")
+
+    comparison = api.run_scenario(spec, policies=("nocache", "benefit", "vcover"))
+    print()
+    print(comparison.as_table())
+    print()
+    print(f"NoCache / VCover traffic: {comparison.ratio('nocache', 'vcover'):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,8 +17,8 @@ import argparse
 import csv
 from pathlib import Path
 
-from repro.experiments import fig7b
-from repro.experiments.config import ExperimentConfig
+from repro import api
+from repro.experiments.fig7b import POLICY_ORDER
 
 
 def parse_args() -> argparse.Namespace:
@@ -42,26 +42,26 @@ def parse_args() -> argparse.Namespace:
 
 def main() -> None:
     args = parse_args()
-    config = ExperimentConfig(
-        object_count=args.objects,
-        query_count=args.events // 2,
-        update_count=args.events // 2,
-        cache_fraction=args.cache,
-        seed=args.seed,
-    )
-    print(f"scenario: {config.total_events} events over {config.object_count} objects, "
-          f"cache {config.cache_fraction:.0%} of server")
+    overrides = {
+        "object_count": args.objects,
+        "query_count": args.events // 2,
+        "update_count": args.events // 2,
+        "cache_fraction": args.cache,
+        "seed": args.seed,
+    }
+    print(f"scenario: {2 * (args.events // 2)} events over {args.objects} objects, "
+          f"cache {args.cache:.0%} of server")
     print("running all five policies (this takes a few seconds)...")
-    result = fig7b.run(config, jobs=args.jobs)
+    result = api.run_experiment("fig7b", overrides=overrides, jobs=args.jobs)
 
     print()
-    print(fig7b.format_table(result))
+    print(api.format_result("fig7b", result))
 
     if args.csv is not None:
         with args.csv.open("w", newline="", encoding="utf-8") as handle:
             writer = csv.writer(handle)
             writer.writerow(["policy", "event_index", "cumulative_traffic_mb"])
-            for policy in fig7b.POLICY_ORDER:
+            for policy in POLICY_ORDER:
                 for event_index, traffic in result.series(policy):
                     writer.writerow([policy, event_index, f"{traffic:.3f}"])
         print(f"\ncumulative series written to {args.csv}")

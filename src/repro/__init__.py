@@ -19,7 +19,11 @@ The public API is organised as follows:
 * :mod:`repro.workload` -- SDSS-style trace generators,
 * :mod:`repro.network` -- traffic cost accounting,
 * :mod:`repro.sim` -- the event-driven simulator and multi-policy runner,
-* :mod:`repro.experiments` -- one module per table/figure of the paper.
+* :mod:`repro.experiments` -- the declarative experiment registry, with one
+  registered experiment per table/figure of the paper,
+* :mod:`repro.api` -- the stable facade: ``list_experiments`` /
+  ``run_experiment`` / ``load_scenario`` / ``run_scenario`` (what the CLI,
+  examples and benchmarks use).
 
 Quickstart::
 

@@ -1,0 +1,8 @@
+"""``python -m repro`` -- alias for the ``repro`` command-line interface."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""The stable public facade of the Delta reproduction.
+
+Everything the CLI, the examples and the benchmarks need is reachable from
+this one module; its functions are the supported entry points and their
+signatures are kept stable:
+
+* :func:`list_experiments` / :func:`get_experiment` -- enumerate the
+  declarative experiment registry,
+* :func:`run_experiment` -- run a registered experiment with flat overrides
+  (``{"query_count": 400, "fractions": (0.1, 0.3)}``) and optional worker
+  parallelism,
+* :func:`load_scenario` / :func:`run_scenario` -- run a scenario declared as
+  pure data (a :class:`~repro.experiments.spec.ScenarioSpec`, possibly read
+  from a JSON/TOML file) against any subset of policies,
+* :func:`format_result` -- render an experiment result the way its module's
+  ``format_*`` helper does.
+
+Quickstart::
+
+    from repro import api
+
+    for name in api.list_experiments():
+        print(name, "-", api.get_experiment(name).title)
+
+    result = api.run_experiment(
+        "headline", overrides={"query_count": 1500, "update_count": 1500}, jobs=4
+    )
+    print(api.format_result("headline", result))
+
+    spec = api.load_scenario("my_scenario.json")
+    comparison = api.run_scenario(spec, policies=("nocache", "vcover"))
+    print(comparison.as_table())
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+# Importing the experiments package registers every experiment.
+import repro.experiments  # noqa: F401  (imported for its registration side effect)
+from repro.core.benefit import BenefitConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import (
+    DuplicateExperimentError,
+    ExperimentSpec,
+    InvalidOverrideError,
+    UnknownExperimentError,
+    UnknownOverrideError,
+    experiment_names,
+    experiment_specs,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.spec import (
+    ScenarioError,
+    ScenarioSpec,
+    load_scenario,
+    save_scenario,
+)
+from repro.sim.engine import EngineConfig
+from repro.sim.results import ComparisonResult
+from repro.sim.runner import compare_policies, default_policy_specs
+
+#: The paper's two algorithms plus the three yardsticks.
+DEFAULT_POLICIES = ("nocache", "replica", "benefit", "vcover", "soptimal")
+
+__all__ = [
+    "DEFAULT_POLICIES",
+    "DuplicateExperimentError",
+    "ExperimentConfig",
+    "ExperimentSpec",
+    "InvalidOverrideError",
+    "ScenarioError",
+    "ScenarioSpec",
+    "UnknownExperimentError",
+    "UnknownOverrideError",
+    "experiment_specs",
+    "format_result",
+    "get_experiment",
+    "list_experiments",
+    "load_scenario",
+    "run_experiment",
+    "run_scenario",
+    "save_scenario",
+]
+
+
+def list_experiments() -> List[str]:
+    """Names of every registered experiment, in registration order."""
+    return experiment_names()
+
+
+def format_result(name: str, result: object) -> str:
+    """Render an experiment result with its registered formatter.
+
+    Falls back to ``repr(result)`` for experiments without one.
+    """
+    spec = get_experiment(name)
+    if spec.format_result is None:
+        return repr(result)
+    return spec.format_result(result)
+
+
+def run_scenario(
+    scenario: Union[ScenarioSpec, ExperimentConfig, str, Path],
+    policies: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    cache_fraction: Optional[float] = None,
+    cache_capacity: Optional[float] = None,
+) -> ComparisonResult:
+    """Run a declarative scenario against several policies.
+
+    Parameters
+    ----------
+    scenario:
+        A :class:`ScenarioSpec`, a bare :class:`ExperimentConfig`, or a path
+        to a JSON/TOML scenario file (see :func:`load_scenario`).
+    policies:
+        Policy names to compare (default: the full paper set,
+        :data:`DEFAULT_POLICIES`).
+    jobs:
+        Worker processes for the per-policy runs (1 = serial; results are
+        identical either way).
+    cache_fraction / cache_capacity:
+        Cache size override; defaults to the scenario config's
+        ``cache_fraction`` (the absolute capacity wins if both are given).
+    """
+    if isinstance(scenario, (str, Path)):
+        scenario = load_scenario(scenario)
+    if isinstance(scenario, ExperimentConfig):
+        scenario = ScenarioSpec(scenario)
+    config = scenario.config
+    built = scenario.build()
+    specs = default_policy_specs(
+        benefit_config=BenefitConfig(window_size=config.benefit_window),
+        include=tuple(policies) if policies else DEFAULT_POLICIES,
+    )
+    return compare_policies(
+        built.catalog,
+        built.trace,
+        cache_fraction=(
+            config.cache_fraction if cache_fraction is None else cache_fraction
+        ),
+        cache_capacity=cache_capacity,
+        specs=specs,
+        engine_config=EngineConfig(
+            sample_every=config.sample_every, measure_from=config.measure_from
+        ),
+        jobs=jobs,
+    )

@@ -15,7 +15,7 @@ Greedy-Dual-Size wrapped in a "lazy" admission layer.  This package provides:
 * :mod:`repro.cache.landlord` -- the Landlord generalisation of GDS.
 """
 
-from repro.cache.base import EvictionPolicy
+from repro.cache.base import EvictionPolicy, PolicyIntrospectionError
 from repro.cache.gds import GreedyDualSize
 from repro.cache.landlord import Landlord
 from repro.cache.lazy import LazyAdmission
@@ -25,6 +25,7 @@ from repro.cache.store import CacheStore, CachedObject
 
 __all__ = [
     "EvictionPolicy",
+    "PolicyIntrospectionError",
     "GreedyDualSize",
     "Landlord",
     "LazyAdmission",

@@ -17,6 +17,15 @@ import abc
 from typing import Dict, Iterable, List, Optional
 
 
+class PolicyIntrospectionError(KeyError):
+    """An introspection query (e.g. :meth:`EvictionPolicy.priority`) failed.
+
+    Raised when a policy is asked about an object it is not currently
+    tracking.  Subclasses ``KeyError`` so existing ``except KeyError``
+    call sites keep working.
+    """
+
+
 class EvictionPolicy(abc.ABC):
     """Ranks resident objects for eviction.
 
@@ -54,10 +63,16 @@ class EvictionPolicy(abc.ABC):
     def priority(self, object_id: int) -> float:
         """Current eviction priority of an object (lower = evicted sooner).
 
-        Optional; the default implementation raises ``NotImplementedError``.
-        Exposed so tests and reports can inspect policy state.
+        Contract: every concrete policy implements this for the objects it
+        tracks (GDS credits, LRU timestamps, LFU counters, Landlord
+        effective credit) and raises :class:`PolicyIntrospectionError` for an
+        object it is not tracking.  Exposed so tests and reports can inspect
+        policy state; the returned scale is policy-specific and only
+        comparable within one policy instance.
         """
-        raise NotImplementedError
+        raise PolicyIntrospectionError(
+            f"{type(self).__name__} does not implement priority introspection"
+        )
 
     def reset(self) -> None:
         """Forget all per-object state (used between experiment repetitions)."""

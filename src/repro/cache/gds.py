@@ -25,7 +25,7 @@ import heapq
 import itertools
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.cache.base import EvictionPolicy, registry
+from repro.cache.base import EvictionPolicy, PolicyIntrospectionError, registry
 
 
 class GreedyDualSize(EvictionPolicy):
@@ -86,7 +86,12 @@ class GreedyDualSize(EvictionPolicy):
         return min(candidates, key=lambda oid: self._credits[oid])
 
     def priority(self, object_id: int) -> float:
-        return self._credits[object_id]
+        try:
+            return self._credits[object_id]
+        except KeyError:
+            raise PolicyIntrospectionError(
+                f"GDS does not track object {object_id}"
+            ) from None
 
     def reset(self) -> None:
         self._inflation = 0.0

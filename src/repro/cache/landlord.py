@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
-from repro.cache.base import EvictionPolicy, registry
+from repro.cache.base import EvictionPolicy, PolicyIntrospectionError, registry
 
 
 class Landlord(EvictionPolicy):
@@ -68,7 +68,12 @@ class Landlord(EvictionPolicy):
         return victim
 
     def priority(self, object_id: int) -> float:
-        return self._effective_credit(object_id)
+        try:
+            return self._effective_credit(object_id)
+        except KeyError:
+            raise PolicyIntrospectionError(
+                f"Landlord does not track object {object_id}"
+            ) from None
 
     def boost_cost(self, object_id: int, extra_cost: float) -> None:
         """Increase an object's cost term (parallel of GDS.boost_cost)."""

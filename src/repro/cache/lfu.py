@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Tuple
 
-from repro.cache.base import EvictionPolicy, registry
+from repro.cache.base import EvictionPolicy, PolicyIntrospectionError, registry
 
 
 class LFUPolicy(EvictionPolicy):
@@ -40,7 +40,12 @@ class LFUPolicy(EvictionPolicy):
         return min(candidates, key=lambda oid: (self._counts[oid], self._last_used[oid]))
 
     def priority(self, object_id: int) -> float:
-        return float(self._counts[object_id])
+        try:
+            return float(self._counts[object_id])
+        except KeyError:
+            raise PolicyIntrospectionError(
+                f"LFU does not track object {object_id}"
+            ) from None
 
     def reset(self) -> None:
         self._counts.clear()

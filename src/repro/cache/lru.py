@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable, Optional
 
-from repro.cache.base import EvictionPolicy, registry
+from repro.cache.base import EvictionPolicy, PolicyIntrospectionError, registry
 
 
 class LRUPolicy(EvictionPolicy):
@@ -41,7 +41,12 @@ class LRUPolicy(EvictionPolicy):
         return None
 
     def priority(self, object_id: int) -> float:
-        return self._order[object_id]
+        try:
+            return self._order[object_id]
+        except KeyError:
+            raise PolicyIntrospectionError(
+                f"LRU does not track object {object_id}"
+            ) from None
 
     def reset(self) -> None:
         self._order.clear()

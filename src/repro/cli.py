@@ -1,6 +1,27 @@
 """Command-line interface for the Delta reproduction.
 
-Four subcommands cover the common workflows:
+The CLI is a thin veneer over :mod:`repro.api`, the library's stable facade;
+it exists so the system can be exercised without writing Python.  Invoke it
+as ``python -m repro`` (or ``python -m repro.cli``).
+
+Registry-driven subcommands:
+
+``experiment list``
+    Enumerate every registered experiment (``--markdown`` emits the table
+    used in ``docs/experiments.md``).
+
+``experiment run <name>``
+    Run a registered experiment; ``--set key=value`` overrides scenario
+    config fields or experiment knobs, ``--jobs N`` fans the experiment's
+    grid out over worker processes.
+
+``scenario validate <file>``
+    Check a JSON/TOML scenario file against the scenario schema.
+
+``scenario run <file>``
+    Run a scenario file against several policies and print the comparison.
+
+Classic workflows (all re-expressed over the facade):
 
 ``generate-trace``
     Build an SDSS-style interleaved trace and write it to a JSONL file.
@@ -20,28 +41,26 @@ Four subcommands cover the common workflows:
 
 ``topology``
     Replay the scenario against a fleet of ``--sites N`` caches sharing one
-    repository (queries split across sites by sky region or hotspot
-    affinity, updates broadcast), one multi-cache run per ``--policies``
-    entry, fanned out over ``--jobs N`` workers; prints per-site and
-    aggregate traffic.
-
-The CLI is a thin veneer over :mod:`repro.experiments` and :mod:`repro.sim`;
-it exists so the library can be exercised without writing Python.  Install the
-package and invoke ``python -m repro.cli --help``.
+    repository, one multi-cache run per ``--policies`` entry.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro import __version__, api
 from repro.core.benefit import BenefitConfig
 from repro.experiments import fig7a
-from repro.experiments.config import ConfiguredScenario, ExperimentConfig, build_scenario
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import UnknownExperimentError, UnknownOverrideError
+from repro.experiments.spec import ScenarioError, ScenarioSpec
 from repro.sim.engine import EngineConfig
-from repro.sim.runner import compare_policies, default_policy_specs, run_policy
+from repro.sim.results import ComparisonResult
+from repro.sim.runner import default_policy_specs, run_policy
 from repro.sim.sweep import PointResult, SweepPoint, SweepRunner
 from repro.topology.spec import TopologySpec
 from repro.workload.partition import PARTITION_STRATEGIES
@@ -49,6 +68,14 @@ from repro.workload.trace import Trace
 
 #: Policies selectable from the command line.
 POLICY_CHOICES = ("vcover", "benefit", "nocache", "replica", "soptimal")
+
+#: Ratio keys printed under a comparison table, in display order.
+SUMMARY_RATIOS = (
+    "nocache_over_vcover",
+    "replica_over_vcover",
+    "benefit_over_vcover",
+    "vcover_over_soptimal",
+)
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
@@ -88,19 +115,117 @@ def _unique(values: Sequence) -> List:
     return list(dict.fromkeys(values))
 
 
-def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
-    return ExperimentConfig(
-        object_count=args.objects,
-        query_count=args.queries,
-        update_count=args.updates,
-        cache_fraction=args.cache,
-        seed=args.seed,
+def _spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
+    """The declarative scenario spec described by the shared flags."""
+    return ScenarioSpec(
+        ExperimentConfig(
+            object_count=args.objects,
+            query_count=args.queries,
+            update_count=args.updates,
+            cache_fraction=args.cache,
+            seed=args.seed,
+        )
     )
 
 
+def _parse_overrides(assignments: Sequence[str]) -> Dict[str, object]:
+    """Parse ``--set key=value`` pairs (values are JSON, falling back to str)."""
+    overrides: Dict[str, object] = {}
+    for assignment in assignments:
+        key, sep, raw = assignment.partition("=")
+        if not sep or not key:
+            raise ScenarioError(
+                f"malformed --set {assignment!r}; expected key=value"
+            )
+        try:
+            overrides[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            overrides[key] = raw
+    return overrides
+
+
+def _print_comparison(comparison: ComparisonResult) -> None:
+    """Comparison table plus the headline ratios, as `compare` prints them."""
+    print(comparison.as_table())
+    summary = comparison.summary()
+    for key in SUMMARY_RATIOS:
+        if key in summary:
+            print(f"{key:>24}: {summary[key]:.2f}")
+
+
+# ----------------------------------------------------------------------
+# Registry-driven subcommands
+# ----------------------------------------------------------------------
+def format_experiment_table(markdown: bool = False) -> str:
+    """The registered experiments as a table (markdown = docs format)."""
+    specs = api.experiment_specs()
+    if markdown:
+        lines = [
+            "| Experiment | Paper artifact | Default grid knobs | Description |",
+            "|---|---|---|---|",
+        ]
+        for spec in specs:
+            knobs = ", ".join(f"`{key}`" for key in spec.knobs) or "—"
+            lines.append(
+                f"| `{spec.name}` | {spec.paper_ref or '—'} | {knobs} | {spec.title} |"
+            )
+        return "\n".join(lines)
+    lines = [f"{'name':<12} {'paper artifact':<16} title"]
+    for spec in specs:
+        lines.append(f"{spec.name:<12} {spec.paper_ref or '-':<16} {spec.title}")
+    return "\n".join(lines)
+
+
+def _cmd_experiment_list(args: argparse.Namespace) -> int:
+    print(format_experiment_table(markdown=args.markdown))
+    return 0
+
+
+def _cmd_experiment_run(args: argparse.Namespace) -> int:
+    try:
+        overrides = _parse_overrides(args.set or [])
+        result = api.run_experiment(args.name, overrides=overrides, jobs=args.jobs)
+    except (UnknownExperimentError, UnknownOverrideError, ScenarioError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(api.format_result(args.name, result))
+    return 0
+
+
+def _cmd_scenario_validate(args: argparse.Namespace) -> int:
+    try:
+        spec = api.load_scenario(args.file)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = spec.config
+    print(f"scenario {spec.name!r} is valid")
+    print(f"  objects      : {config.object_count}")
+    print(f"  events       : {config.total_events} "
+          f"({config.query_count} queries, {config.update_count} updates)")
+    print(f"  server size  : {config.server_size:.1f} MB")
+    print(f"  cache        : {config.cache_fraction:.0%} of the server")
+    print(f"  seed         : {config.seed}")
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    try:
+        spec = api.load_scenario(args.file)
+        policies = _unique(args.policies) if args.policies else None
+        comparison = api.run_scenario(spec, policies=policies, jobs=args.jobs)
+    except (ScenarioError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_comparison(comparison)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Classic subcommands (re-expressed over the facade)
+# ----------------------------------------------------------------------
 def _cmd_generate_trace(args: argparse.Namespace) -> int:
-    config = _config_from_args(args)
-    scenario = build_scenario(config)
+    scenario = _spec_from_args(args).build()
     scenario.trace.to_jsonl(args.out)
     stats = scenario.trace.describe()
     print(f"wrote {int(stats['events'])} events to {args.out}")
@@ -113,15 +238,16 @@ def _cmd_generate_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = _config_from_args(args)
-    scenario = build_scenario(config)
+    spec = _spec_from_args(args)
+    config = spec.config
+    scenario = spec.build()
     trace = Trace.from_jsonl(args.trace) if args.trace is not None else scenario.trace
-    spec = default_policy_specs(
+    policy_spec = default_policy_specs(
         benefit_config=BenefitConfig(window_size=config.benefit_window),
         include=(args.policy,),
     )[0]
     result = run_policy(
-        spec,
+        policy_spec,
         scenario.catalog,
         trace,
         cache_capacity=scenario.cache_capacity,
@@ -139,33 +265,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    config = _config_from_args(args)
-    scenario = build_scenario(config)
+    spec = _spec_from_args(args)
     policies = _unique(args.policies) if args.policies else POLICY_CHOICES
-    comparison = compare_policies(
-        scenario.catalog,
-        scenario.trace,
-        cache_fraction=config.cache_fraction,
-        specs=default_policy_specs(
-            benefit_config=BenefitConfig(window_size=config.benefit_window),
-            include=policies,
-        ),
-        engine_config=EngineConfig(
-            sample_every=config.sample_every, measure_from=config.measure_from
-        ),
-        jobs=args.jobs,
-    )
-    print(comparison.as_table())
-    summary = comparison.summary()
-    for key in ("nocache_over_vcover", "replica_over_vcover", "benefit_over_vcover",
-                "vcover_over_soptimal"):
-        if key in summary:
-            print(f"{key:>24}: {summary[key]:.2f}")
+    comparison = api.run_scenario(spec, policies=policies, jobs=args.jobs)
+    _print_comparison(comparison)
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    config = _config_from_args(args)
+    config = _spec_from_args(args).config
     policies = _unique(args.policies) if args.policies else POLICY_CHOICES
     fractions = (
         _unique(args.cache_fractions) if args.cache_fractions
@@ -181,7 +289,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
 
     scenarios = {
-        f"seed{seed}": ConfiguredScenario(config.scaled(seed=seed)) for seed in seeds
+        f"seed{seed}": ScenarioSpec(config.scaled(seed=seed), name=f"seed{seed}")
+        for seed in seeds
     }
     # repr() is a round-trippable float encoding, so distinct fractions can
     # never collide into one key (unlike %g, which rounds to 6 digits).
@@ -216,7 +325,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_topology(args: argparse.Namespace) -> int:
-    config = _config_from_args(args)
+    spec = _spec_from_args(args)
+    config = spec.config
     if args.sites > args.objects:
         # Both strategies need at least one object per site (region would
         # raise deep in the partitioner, affinity would leave sites empty).
@@ -236,21 +346,21 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     )
     points = [
         SweepPoint(
-            key=f"{spec.name}-x{args.sites}",
-            spec=spec,
+            key=f"{policy_spec.name}-x{args.sites}",
+            spec=policy_spec,
             engine=engine,
             seed=config.seed,
-            tags=(("sites", args.sites), ("policy", spec.name)),
+            tags=(("sites", args.sites), ("policy", policy_spec.name)),
             topology=TopologySpec.uniform(
-                spec,
+                policy_spec,
                 args.sites,
                 cache_fraction=config.cache_fraction,
                 strategy=args.strategy,
             ),
         )
-        for spec in specs
+        for policy_spec in specs
     ]
-    scenarios = {"default": ConfiguredScenario(config)}
+    scenarios = {"default": spec}
     runner = SweepRunner(jobs=args.jobs, output_dir=args.out)
     result = runner.run(points, scenarios)
 
@@ -287,7 +397,57 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Delta dynamic data middleware cache (Middleware 2010)"
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="list or run registered experiments"
+    )
+    experiment_actions = experiment.add_subparsers(dest="action", required=True)
+
+    experiment_list = experiment_actions.add_parser(
+        "list", help="enumerate the experiment registry"
+    )
+    experiment_list.add_argument("--markdown", action="store_true",
+                                 help="emit the docs/experiments.md table")
+    experiment_list.set_defaults(handler=_cmd_experiment_list)
+
+    experiment_run = experiment_actions.add_parser(
+        "run", help="run one registered experiment"
+    )
+    experiment_run.add_argument("name", help="experiment name (see 'experiment list')")
+    experiment_run.add_argument("--set", action="append", metavar="KEY=VALUE",
+                                help="override a scenario config field or "
+                                     "experiment knob (repeatable; values are JSON)")
+    experiment_run.add_argument("--jobs", type=_positive_jobs, default=1,
+                                help="worker processes for the experiment grid "
+                                     "(default: 1)")
+    experiment_run.set_defaults(handler=_cmd_experiment_run)
+
+    scenario = subparsers.add_parser(
+        "scenario", help="validate or run declarative scenario files"
+    )
+    scenario_actions = scenario.add_subparsers(dest="action", required=True)
+
+    scenario_validate = scenario_actions.add_parser(
+        "validate", help="check a JSON/TOML scenario file"
+    )
+    scenario_validate.add_argument("file", type=Path, help="scenario file path")
+    scenario_validate.set_defaults(handler=_cmd_scenario_validate)
+
+    scenario_run = scenario_actions.add_parser(
+        "run", help="run a scenario file against several policies"
+    )
+    scenario_run.add_argument("file", type=Path, help="scenario file path")
+    scenario_run.add_argument("--policies", nargs="*", choices=POLICY_CHOICES,
+                              default=None,
+                              help="subset of policies to run (default: all five)")
+    scenario_run.add_argument("--jobs", type=_positive_jobs, default=1,
+                              help="worker processes for the per-policy runs "
+                                   "(default: 1)")
+    scenario_run.set_defaults(handler=_cmd_scenario_run)
 
     generate = subparsers.add_parser(
         "generate-trace", help="generate an SDSS-style trace and write it as JSONL"

@@ -1,11 +1,21 @@
-"""Experiment harness: one module per table/figure of the paper.
+"""Experiment harness: one registered experiment per table/figure of the paper.
 
-Every experiment module exposes a ``run(...)`` function that returns a result
-dataclass plus a ``format_*`` helper producing the rows the paper reports.
-The shared scenario builder lives in :mod:`repro.experiments.config`; the
-mapping from paper figure/table to module is documented in ``DESIGN.md``.
+Every experiment module declares itself to the registry in
+:mod:`repro.experiments.registry` via :func:`register_experiment`: a default
+:class:`~repro.experiments.config.ExperimentConfig`, experiment-specific
+knobs, a grid builder producing sweep points and scenario sources, and a
+summarise hook.  One shared driver executes them all; each module also keeps
+its ``run(...)`` function (a thin wrapper over the driver) plus a
+``format_*`` helper producing the rows the paper reports.
+
+Importing this package imports every experiment module, which populates the
+registry -- :mod:`repro.api` relies on that.  The shared scenario layer lives
+in :mod:`repro.experiments.spec` (:class:`ScenarioSpec`) and
+:mod:`repro.experiments.config`; the mapping from paper figure/table to
+module is documented in ``DESIGN.md`` and ``docs/experiments.md``.
 """
 
+from repro.experiments import registry
 from repro.experiments import (
     ablations,
     cache_size,
@@ -18,11 +28,26 @@ from repro.experiments import (
     warmup,
 )
 from repro.experiments.config import ExperimentConfig, Scenario, build_scenario
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentGrid,
+    ExperimentSpec,
+    register_experiment,
+)
+from repro.experiments.spec import ScenarioSpec, ScenarioError, load_scenario
 
 __all__ = [
     "ExperimentConfig",
+    "ExperimentContext",
+    "ExperimentGrid",
+    "ExperimentSpec",
     "Scenario",
+    "ScenarioError",
+    "ScenarioSpec",
     "build_scenario",
+    "load_scenario",
+    "register_experiment",
+    "registry",
     "ablations",
     "cache_size",
     "fig7a",

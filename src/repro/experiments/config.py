@@ -119,13 +119,12 @@ class ExperimentConfig:
 
 @dataclass(frozen=True)
 class ConfiguredScenario:
-    """A picklable sweep scenario source that rebuilds from a config.
+    """Deprecated alias-shape for :class:`repro.experiments.spec.ScenarioSpec`.
 
-    Handed to :class:`repro.sim.sweep.SweepRunner` instead of a built trace:
-    only the (small) :class:`ExperimentConfig` crosses the process boundary,
-    and each worker rebuilds the scenario deterministically from its seeds.
-    ``cache_key()`` lets a worker memoise the build, so a scenario shared by
-    many grid points is constructed at most once per process.
+    Kept so existing callers that hand ``ConfiguredScenario(config)`` to the
+    sweep runner keep working; new code should use
+    :class:`~repro.experiments.spec.ScenarioSpec`, which adds
+    ``to_dict``/``from_dict`` round-tripping and file loading.
     """
 
     config: ExperimentConfig
@@ -136,8 +135,13 @@ class ConfiguredScenario:
         return scenario.catalog, scenario.trace
 
     def cache_key(self):
-        """Hashable identity of the build recipe (all config knobs)."""
-        return ("configured", astuple(self.config))
+        """Hashable identity of the build recipe (all config knobs).
+
+        Matches :meth:`ScenarioSpec.cache_key` for the same config, so a
+        worker never builds the same scenario twice even when the two
+        representations are mixed in one sweep.
+        """
+        return ("scenario", astuple(self.config))
 
 
 @dataclass

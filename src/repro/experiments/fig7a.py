@@ -21,9 +21,16 @@ that make the figure's claims checkable without eyeballs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.experiments.config import ExperimentConfig, Scenario, build_scenario
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentGrid,
+    execute,
+    register_experiment,
+)
+from repro.experiments.spec import ScenarioSpec
 from repro.workload.trace import QueryEvent, Trace, UpdateEvent
 
 
@@ -103,8 +110,7 @@ def characterise_trace(trace: Trace, top: int = 6, segments: int = 8) -> Workloa
 
 def run(config: Optional[ExperimentConfig] = None) -> WorkloadCharacterisation:
     """Build the default scenario and characterise its trace."""
-    scenario = build_scenario(config)
-    return characterise_trace(scenario.trace)
+    return execute("fig7a", config=config)
 
 
 def format_report(result: WorkloadCharacterisation) -> str:
@@ -121,3 +127,29 @@ def format_report(result: WorkloadCharacterisation) -> str:
     lines.append(f"hotspot overlap (Jaccard)      : {result.hotspot_overlap:.2f}")
     lines.append(f"workload evolution (Jaccard dist): {result.evolution_distance:.2f}")
     return "\n".join(lines)
+
+
+def _summarise(context: ExperimentContext) -> WorkloadCharacterisation:
+    return characterise_trace(
+        context.extras["scenario"].trace,
+        top=context.knobs["top"],
+        segments=context.knobs["segments"],
+    )
+
+
+@register_experiment(
+    name="fig7a",
+    title="Workload characterisation (hotspot overlap, evolution)",
+    paper_ref="Figure 7(a)",
+    description=(
+        "Regenerates the figure's query/update scatter data plus two "
+        "checkable statistics: Jaccard overlap of the query-hot vs "
+        "update-hot object sets and the drift of the queried set over time."
+    ),
+    knobs={"top": 6, "segments": 8},
+    summarise=_summarise,
+    format_result=format_report,
+)
+def _grid(config: ExperimentConfig, knobs: Mapping[str, object]) -> ExperimentGrid:
+    # Pure trace analysis: no sweep points, just the built scenario.
+    return ExperimentGrid(context={"scenario": ScenarioSpec(config).build()})

@@ -14,14 +14,22 @@ paper's qualitative findings, which this experiment regenerates:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.benefit import BenefitConfig
 from repro.core.vcover import VCoverConfig
-from repro.experiments.config import ExperimentConfig, Scenario, build_scenario
+from repro.experiments.config import ExperimentConfig, Scenario
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentGrid,
+    execute,
+    register_experiment,
+)
+from repro.experiments.spec import ScenarioSpec
 from repro.sim.engine import EngineConfig
 from repro.sim.results import ComparisonResult
-from repro.sim.runner import compare_policies, default_policy_specs
+from repro.sim.runner import default_policy_specs
+from repro.sim.sweep import DEFAULT_SCENARIO, InlineScenario, SweepPoint
 
 #: Policy order used in the paper's legend.
 POLICY_ORDER = ("nocache", "replica", "benefit", "vcover", "soptimal")
@@ -57,24 +65,9 @@ def run(
     With ``jobs > 1`` the per-policy runs execute in parallel worker
     processes (results are identical to a serial run).
     """
-    config = config or ExperimentConfig()
-    scenario = build_scenario(config)
-    specs = default_policy_specs(
-        vcover_config=VCoverConfig(),
-        benefit_config=BenefitConfig(window_size=config.benefit_window),
-        include=policies,
+    return execute(
+        "fig7b", config=config, knobs={"policies": tuple(policies)}, jobs=jobs
     )
-    comparison = compare_policies(
-        scenario.catalog,
-        scenario.trace,
-        cache_fraction=config.cache_fraction,
-        specs=specs,
-        engine_config=EngineConfig(
-            sample_every=config.sample_every, measure_from=config.measure_from
-        ),
-        jobs=jobs,
-    )
-    return CumulativeTrafficResult(comparison=comparison, scenario=scenario)
 
 
 def format_table(result: CumulativeTrafficResult) -> str:
@@ -87,3 +80,50 @@ def format_table(result: CumulativeTrafficResult) -> str:
         if key in ratios:
             lines.append(f"{key:>24}: {ratios[key]:.2f}")
     return "\n".join(lines)
+
+
+def _summarise(context: ExperimentContext) -> CumulativeTrafficResult:
+    return CumulativeTrafficResult(
+        comparison=context.sweep.comparison(),
+        scenario=context.extras["scenario"],
+    )
+
+
+@register_experiment(
+    name="fig7b",
+    title="Cumulative traffic cost of every policy",
+    paper_ref="Figure 7(b)",
+    description=(
+        "Replays the default workload against the two algorithms and three "
+        "yardsticks at the paper's 30% cache, regenerating the cumulative "
+        "traffic curves and their endpoint ratios."
+    ),
+    knobs={"policies": POLICY_ORDER},
+    summarise=_summarise,
+    format_result=format_table,
+)
+def _grid(config: ExperimentConfig, knobs: Mapping[str, object]) -> ExperimentGrid:
+    scenario = ScenarioSpec(config).build()
+    specs = default_policy_specs(
+        vcover_config=VCoverConfig(),
+        benefit_config=BenefitConfig(window_size=config.benefit_window),
+        include=knobs["policies"],
+    )
+    engine = EngineConfig(
+        sample_every=config.sample_every, measure_from=config.measure_from
+    )
+    points = tuple(
+        SweepPoint(
+            key=spec.name,
+            spec=spec,
+            cache_fraction=config.cache_fraction,
+            engine=engine,
+            seed=config.seed,
+        )
+        for spec in specs
+    )
+    return ExperimentGrid(
+        points=points,
+        scenarios={DEFAULT_SCENARIO: InlineScenario(scenario.catalog, scenario.trace)},
+        context={"scenario": scenario},
+    )

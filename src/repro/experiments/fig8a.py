@@ -15,8 +15,8 @@ The sweep is expressed as multipliers of the baseline update count; update
 update's size distribution is unchanged; there are simply more of them).
 
 Each multiplier defines its own scenario, so the grid is handed to
-:class:`repro.sim.sweep.SweepRunner` as config recipes
-(:class:`repro.experiments.config.ConfiguredScenario`): workers rebuild each
+:class:`repro.sim.sweep.SweepRunner` as declarative recipes
+(:class:`repro.experiments.spec.ScenarioSpec`): workers rebuild each
 scenario deterministically from its seeds, memoised per process, and
 ``jobs > 1`` runs the ``multiplier x policy`` grid in parallel.
 """
@@ -24,18 +24,28 @@ scenario deterministically from its seeds, memoised per process, and
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.benefit import BenefitConfig
-from repro.experiments.config import ConfiguredScenario, ExperimentConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentGrid,
+    execute,
+    register_experiment,
+)
+from repro.experiments.spec import ScenarioSpec
 from repro.sim.engine import EngineConfig
 from repro.sim.results import ComparisonResult
 from repro.sim.runner import default_policy_specs
-from repro.sim.sweep import SweepPoint, SweepRunner
+from repro.sim.sweep import SweepPoint
 
 #: Default sweep: x0.5 .. x1.5 of the baseline update count (paper: 125k..375k
 #: against a 250k baseline).
 DEFAULT_MULTIPLIERS = (0.5, 0.75, 1.0, 1.25, 1.5)
+
+#: Policies compared at every multiplier by default.
+DEFAULT_POLICIES = ("nocache", "replica", "benefit", "vcover", "soptimal")
 
 
 @dataclass
@@ -59,31 +69,87 @@ class UpdateSweepResult:
 def run(
     config: Optional[ExperimentConfig] = None,
     multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
-    policies: Sequence[str] = ("nocache", "replica", "benefit", "vcover", "soptimal"),
+    policies: Sequence[str] = DEFAULT_POLICIES,
     jobs: int = 1,
 ) -> UpdateSweepResult:
     """Run the update-count sweep."""
-    config = config or ExperimentConfig()
-    specs = default_policy_specs(
-        benefit_config=BenefitConfig(window_size=config.benefit_window),
-        include=policies,
+    return execute(
+        "fig8a",
+        config=config,
+        knobs={"multipliers": tuple(multipliers), "policies": tuple(policies)},
+        jobs=jobs,
     )
 
-    scenarios: Dict[str, ConfiguredScenario] = {}
-    points: List[SweepPoint] = []
-    update_counts: List[int] = []
+
+def format_table(result: UpdateSweepResult) -> str:
+    """Fixed-width table: one row per policy, one column per update count."""
+    header = f"{'policy':<10}" + "".join(f"{count:>12}" for count in result.update_counts)
+    lines = ["Figure 8(a) -- final traffic (MB) for varying number of updates", header]
+    for policy, series in result.traffic.items():
+        lines.append(f"{policy:<10}" + "".join(f"{value:>12.1f}" for value in series))
+    lines.append("")
+    for policy in result.traffic:
+        lines.append(f"growth x{result.multipliers[-1]/result.multipliers[0]:.1f} updates -> "
+                     f"{policy}: x{result.growth(policy):.2f}")
+    return "\n".join(lines)
+
+
+def _swept_config(config: ExperimentConfig, multiplier: float) -> ExperimentConfig:
+    """The per-multiplier scenario config (update traffic scales with count)."""
+    return replace(
+        config,
+        update_count=int(round(config.update_count * multiplier)),
+        # Update traffic scales with the number of updates (same per-update
+        # size distribution), exactly as in the paper's sweep.
+        update_traffic_fraction=config.update_traffic_fraction * multiplier,
+    )
+
+
+def _summarise(context: ExperimentContext) -> UpdateSweepResult:
+    multipliers = context.knobs["multipliers"]
+    policies = context.knobs["policies"]
+    traffic: Dict[str, List[float]] = {name: [] for name in policies}
+    comparisons: List[ComparisonResult] = []
     for multiplier in multipliers:
-        update_count = int(round(config.update_count * multiplier))
-        update_counts.append(update_count)
-        swept = replace(
-            config,
-            update_count=update_count,
-            # Update traffic scales with the number of updates (same per-update
-            # size distribution), exactly as in the paper's sweep.
-            update_traffic_fraction=config.update_traffic_fraction * multiplier,
-        )
+        comparison = context.sweep.comparison(multiplier=multiplier)
+        comparisons.append(comparison)
+        for name in policies:
+            traffic[name].append(comparison.traffic_of(name))
+    return UpdateSweepResult(
+        multipliers=list(multipliers),
+        update_counts=[
+            _swept_config(context.config, multiplier).update_count
+            for multiplier in multipliers
+        ],
+        traffic=traffic,
+        comparisons=comparisons,
+    )
+
+
+@register_experiment(
+    name="fig8a",
+    title="Final traffic while sweeping the number of updates",
+    paper_ref="Figure 8(a)",
+    description=(
+        "Keeps the query workload fixed and sweeps the update count; NoCache "
+        "stays flat, Replica grows linearly, and the caching policies "
+        "compensate with only slight growth."
+    ),
+    knobs={"multipliers": DEFAULT_MULTIPLIERS, "policies": DEFAULT_POLICIES},
+    summarise=_summarise,
+    format_result=format_table,
+)
+def _grid(config: ExperimentConfig, knobs: Mapping[str, object]) -> ExperimentGrid:
+    specs = default_policy_specs(
+        benefit_config=BenefitConfig(window_size=config.benefit_window),
+        include=knobs["policies"],
+    )
+    scenarios: Dict[str, ScenarioSpec] = {}
+    points: List[SweepPoint] = []
+    for multiplier in knobs["multipliers"]:
+        swept = _swept_config(config, multiplier)
         scenario_name = f"updates-x{multiplier:g}"
-        scenarios[scenario_name] = ConfiguredScenario(swept)
+        scenarios[scenario_name] = ScenarioSpec(swept, name=scenario_name)
         engine = EngineConfig(
             sample_every=config.sample_every, measure_from=swept.measure_from
         )
@@ -99,33 +165,4 @@ def run(
             )
             for spec in specs
         )
-
-    sweep = SweepRunner(jobs=jobs).run(points, scenarios)
-
-    traffic: Dict[str, List[float]] = {name: [] for name in policies}
-    comparisons: List[ComparisonResult] = []
-    for multiplier in multipliers:
-        comparison = sweep.comparison(multiplier=multiplier)
-        comparisons.append(comparison)
-        for name in policies:
-            traffic[name].append(comparison.traffic_of(name))
-
-    return UpdateSweepResult(
-        multipliers=list(multipliers),
-        update_counts=update_counts,
-        traffic=traffic,
-        comparisons=comparisons,
-    )
-
-
-def format_table(result: UpdateSweepResult) -> str:
-    """Fixed-width table: one row per policy, one column per update count."""
-    header = f"{'policy':<10}" + "".join(f"{count:>12}" for count in result.update_counts)
-    lines = ["Figure 8(a) -- final traffic (MB) for varying number of updates", header]
-    for policy, series in result.traffic.items():
-        lines.append(f"{policy:<10}" + "".join(f"{value:>12.1f}" for value in series))
-    lines.append("")
-    for policy in result.traffic:
-        lines.append(f"growth x{result.multipliers[-1]/result.multipliers[0]:.1f} updates -> "
-                     f"{policy}: x{result.growth(policy):.2f}")
-    return "\n".join(lines)
+    return ExperimentGrid(points=tuple(points), scenarios=scenarios)

@@ -20,14 +20,21 @@ Each level is one grid point of a :class:`repro.sim.sweep.SweepRunner` sweep
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.experiments.config import ConfiguredScenario, ExperimentConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentGrid,
+    execute,
+    register_experiment,
+)
+from repro.experiments.spec import ScenarioSpec
 from repro.repository.catalog import PARTITION_LEVELS
 from repro.sim.engine import EngineConfig
 from repro.sim.results import RunResult
 from repro.sim.runner import default_policy_specs
-from repro.sim.sweep import SweepPoint, SweepRunner
+from repro.sim.sweep import SweepPoint
 
 
 @dataclass
@@ -53,44 +60,11 @@ def run(
     jobs: int = 1,
 ) -> GranularityResult:
     """Replay the workload against every requested partitioning level."""
-    config = config or ExperimentConfig()
-    spec = default_policy_specs(include=(policy,))[0]
-
-    scenarios: Dict[str, ConfiguredScenario] = {}
-    points: List[SweepPoint] = []
-    for object_count in object_counts:
-        level_config = replace(config, object_count=object_count)
-        scenario_name = f"objects-{object_count}"
-        scenarios[scenario_name] = ConfiguredScenario(level_config)
-        points.append(
-            SweepPoint(
-                key=f"{spec.name}-{object_count}",
-                spec=spec,
-                scenario=scenario_name,
-                cache_fraction=config.cache_fraction,
-                engine=EngineConfig(
-                    sample_every=config.sample_every,
-                    measure_from=level_config.measure_from,
-                ),
-                seed=config.seed,
-                tags=(("object_count", object_count),),
-            )
-        )
-
-    sweep = SweepRunner(jobs=jobs).run(points, scenarios)
-
-    traffic: Dict[int, float] = {}
-    series: Dict[int, List[Tuple[int, float]]] = {}
-    runs: Dict[int, RunResult] = {}
-    for point_result in sweep.points:
-        object_count = point_result.point.tag("object_count")
-        run_result = point_result.run
-        traffic[object_count] = run_result.measured_traffic
-        series[object_count] = run_result.time_series.as_rows()
-        runs[object_count] = run_result
-
-    return GranularityResult(
-        object_counts=list(object_counts), traffic=traffic, series=series, runs=runs
+    return execute(
+        "fig8b",
+        config=config,
+        knobs={"object_counts": tuple(object_counts), "policy": policy},
+        jobs=jobs,
     )
 
 
@@ -106,3 +80,59 @@ def format_table(result: GranularityResult) -> str:
         )
     lines.append(f"best level: {result.best_level()} objects")
     return "\n".join(lines)
+
+
+def _summarise(context: ExperimentContext) -> GranularityResult:
+    traffic: Dict[int, float] = {}
+    series: Dict[int, List[Tuple[int, float]]] = {}
+    runs: Dict[int, RunResult] = {}
+    for point_result in context.sweep.points:
+        object_count = point_result.point.tag("object_count")
+        run_result = point_result.run
+        traffic[object_count] = run_result.measured_traffic
+        series[object_count] = run_result.time_series.as_rows()
+        runs[object_count] = run_result
+    return GranularityResult(
+        object_counts=list(context.knobs["object_counts"]),
+        traffic=traffic,
+        series=series,
+        runs=runs,
+    )
+
+
+@register_experiment(
+    name="fig8b",
+    title="Object-granularity sweep (sky partitioning levels)",
+    paper_ref="Figure 8(b)",
+    description=(
+        "Replays the same workload against partitionings of the sky into "
+        "10..532 data objects; traffic improves sharply down to ~91 objects "
+        "and then slowly degrades."
+    ),
+    knobs={"object_counts": PARTITION_LEVELS, "policy": "vcover"},
+    summarise=_summarise,
+    format_result=format_table,
+)
+def _grid(config: ExperimentConfig, knobs: Mapping[str, object]) -> ExperimentGrid:
+    spec = default_policy_specs(include=(knobs["policy"],))[0]
+    scenarios: Dict[str, ScenarioSpec] = {}
+    points: List[SweepPoint] = []
+    for object_count in knobs["object_counts"]:
+        level_config = replace(config, object_count=object_count)
+        scenario_name = f"objects-{object_count}"
+        scenarios[scenario_name] = ScenarioSpec(level_config, name=scenario_name)
+        points.append(
+            SweepPoint(
+                key=f"{spec.name}-{object_count}",
+                spec=spec,
+                scenario=scenario_name,
+                cache_fraction=config.cache_fraction,
+                engine=EngineConfig(
+                    sample_every=config.sample_every,
+                    measure_from=level_config.measure_from,
+                ),
+                seed=config.seed,
+                tags=(("object_count", object_count),),
+            )
+        )
+    return ExperimentGrid(points=tuple(points), scenarios=scenarios)

@@ -17,14 +17,21 @@ default setup (cache 30 %, Section 6.1), so they are measured there.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
 
 from repro.core.benefit import BenefitConfig
-from repro.experiments.config import ExperimentConfig, build_scenario
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentGrid,
+    execute,
+    register_experiment,
+)
+from repro.experiments.spec import ScenarioSpec
 from repro.sim.engine import EngineConfig
 from repro.sim.results import ComparisonResult
 from repro.sim.runner import default_policy_specs
-from repro.sim.sweep import DEFAULT_SCENARIO, InlineScenario, SweepPoint, SweepRunner
+from repro.sim.sweep import DEFAULT_SCENARIO, SweepPoint
 
 
 @dataclass
@@ -77,7 +84,7 @@ def run(
     cache_fraction: float = 0.2,
     jobs: int = 1,
 ) -> HeadlineResult:
-    """Measure the headline claims.
+    """Measure the headline claims (registry-driven; kept for back-compat).
 
     Both cache sizes run as one ``fraction x policy`` sweep over a single
     scenario, so ``jobs > 1`` runs all ten policy runs in parallel.
@@ -92,36 +99,11 @@ def run(
     jobs:
         Worker processes to fan the runs out over (1 = serial).
     """
-    config = config or ExperimentConfig()
-    scenario = build_scenario(config)
-    specs = default_policy_specs(
-        benefit_config=BenefitConfig(window_size=config.benefit_window)
-    )
-    engine = EngineConfig(
-        sample_every=config.sample_every, measure_from=config.measure_from
-    )
-    fractions = [("small", cache_fraction), ("default", config.cache_fraction)]
-    points = [
-        SweepPoint(
-            key=f"{spec.name}@{label}",
-            spec=spec,
-            cache_fraction=fraction,
-            engine=engine,
-            seed=config.seed,
-            tags=(("setup", label),),
-        )
-        for label, fraction in fractions
-        for spec in specs
-    ]
-    sweep = SweepRunner(jobs=jobs).run(
-        points,
-        scenarios={DEFAULT_SCENARIO: InlineScenario(scenario.catalog, scenario.trace)},
-    )
-    return HeadlineResult(
-        small_cache_comparison=sweep.comparison(setup="small"),
-        default_comparison=sweep.comparison(setup="default"),
-        small_cache_fraction=cache_fraction,
-        default_cache_fraction=config.cache_fraction,
+    return execute(
+        "headline",
+        config=config,
+        knobs={"small_cache_fraction": cache_fraction},
+        jobs=jobs,
     )
 
 
@@ -147,3 +129,56 @@ def format_report(result: HeadlineResult) -> str:
     lines.append(f"cache = {result.default_cache_fraction:.0%} of server:")
     lines.append(result.default_comparison.as_table())
     return "\n".join(lines)
+
+
+def _summarise(context: ExperimentContext) -> HeadlineResult:
+    return HeadlineResult(
+        small_cache_comparison=context.sweep.comparison(setup="small"),
+        default_comparison=context.sweep.comparison(setup="default"),
+        small_cache_fraction=context.knobs["small_cache_fraction"],
+        default_cache_fraction=context.config.cache_fraction,
+    )
+
+
+@register_experiment(
+    name="headline",
+    title="Headline claims (traffic reduction, Benefit/VCover, VCover/SOptimal)",
+    paper_ref="Section 6 text",
+    description=(
+        "Measures the paper's three quantitative claims: ~50% traffic "
+        "reduction with a one-fifth cache, Benefit 2-5x above VCover, and "
+        "VCover within ~1.4x of SOptimal."
+    ),
+    knobs={"small_cache_fraction": 0.2},
+    summarise=_summarise,
+    format_result=format_report,
+)
+def _grid(config: ExperimentConfig, knobs: Mapping[str, object]) -> ExperimentGrid:
+    specs = default_policy_specs(
+        benefit_config=BenefitConfig(window_size=config.benefit_window)
+    )
+    engine = EngineConfig(
+        sample_every=config.sample_every, measure_from=config.measure_from
+    )
+    fractions = [
+        ("small", knobs["small_cache_fraction"]),
+        ("default", config.cache_fraction),
+    ]
+    points = tuple(
+        SweepPoint(
+            key=f"{spec.name}@{label}",
+            spec=spec,
+            cache_fraction=fraction,
+            engine=engine,
+            seed=config.seed,
+            tags=(("setup", label),),
+        )
+        for label, fraction in fractions
+        for spec in specs
+    )
+    # The recipe, not a built trace: workers rebuild it deterministically,
+    # memoised per process, so nothing big crosses the pool boundary.
+    return ExperimentGrid(
+        points=points,
+        scenarios={DEFAULT_SCENARIO: ScenarioSpec(config)},
+    )

@@ -22,14 +22,21 @@ with results identical to a serial run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.vcover import VCoverConfig
-from repro.experiments.config import ExperimentConfig, build_scenario
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentGrid,
+    execute,
+    register_experiment,
+)
+from repro.experiments.spec import ScenarioSpec
 from repro.sim.engine import EngineConfig
 from repro.sim.results import RunResult
 from repro.sim.runner import PolicySpec, nocache_spec, vcover_spec
-from repro.sim.sweep import DEFAULT_SCENARIO, InlineScenario, SweepPoint, SweepRunner
+from repro.sim.sweep import DEFAULT_SCENARIO, SweepPoint
 from repro.topology.spec import TopologySpec
 
 #: Site counts the experiment sweeps (the fleet-growth axis).
@@ -124,41 +131,16 @@ def run(
     jobs:
         Worker processes to fan the grid out over (1 = serial).
     """
-    config = config or ExperimentConfig()
-    scenario = build_scenario(config)
-    engine = EngineConfig(
-        sample_every=config.sample_every, measure_from=config.measure_from
+    return execute(
+        "multisite",
+        config=config,
+        knobs={
+            "site_counts": tuple(site_counts),
+            "policies": tuple(policies),
+            "strategy": strategy,
+        },
+        jobs=jobs,
     )
-    specs = [(name, _policy_spec(name)) for name in policies]
-    points = [
-        SweepPoint(
-            key=f"{name}-x{count}",
-            spec=spec,
-            engine=engine,
-            seed=config.seed,
-            tags=(("sites", count), ("policy", name)),
-            topology=TopologySpec.uniform(
-                spec,
-                count,
-                cache_fraction=config.cache_fraction,
-                strategy=strategy,
-            ),
-        )
-        for count in site_counts
-        for name, spec in specs
-    ]
-    sweep = SweepRunner(jobs=jobs).run(
-        points,
-        scenarios={DEFAULT_SCENARIO: InlineScenario(scenario.catalog, scenario.trace)},
-    )
-    result = MultisiteResult(
-        site_counts=list(site_counts), policies=list(policies), strategy=strategy
-    )
-    for point_result in sweep.points:
-        policy = point_result.point.tag("policy")
-        count = point_result.point.tag("sites")
-        result.runs[(policy, count)] = point_result.run
-    return result
 
 
 def format_table(result: MultisiteResult) -> str:
@@ -174,3 +156,64 @@ def format_table(result: MultisiteResult) -> str:
     verdict = "yes" if result.vcover_within_yardstick() else "NO"
     lines.append(f"vcover <= {YARDSTICK} at every site count: {verdict}")
     return "\n".join(lines)
+
+
+def _summarise(context: ExperimentContext) -> MultisiteResult:
+    result = MultisiteResult(
+        site_counts=list(context.knobs["site_counts"]),
+        policies=list(context.knobs["policies"]),
+        strategy=context.knobs["strategy"],
+    )
+    for point_result in context.sweep.points:
+        policy = point_result.point.tag("policy")
+        count = point_result.point.tag("sites")
+        result.runs[(policy, count)] = point_result.run
+    return result
+
+
+@register_experiment(
+    name="multisite",
+    title="Fleet growth: one workload over 1/2/4/8 cache sites",
+    paper_ref="(ours)",
+    description=(
+        "Partitions the query stream across a growing fleet of caches "
+        "sharing one repository (updates broadcast) and checks that "
+        "VCover's fleet-wide traffic stays at or below the NoCache "
+        "yardstick at every site count."
+    ),
+    knobs={
+        "site_counts": DEFAULT_SITE_COUNTS,
+        "policies": DEFAULT_POLICIES,
+        "strategy": "region",
+    },
+    summarise=_summarise,
+    format_result=format_table,
+)
+def _grid(config: ExperimentConfig, knobs: Mapping[str, object]) -> ExperimentGrid:
+    engine = EngineConfig(
+        sample_every=config.sample_every, measure_from=config.measure_from
+    )
+    specs = [(name, _policy_spec(name)) for name in knobs["policies"]]
+    points = tuple(
+        SweepPoint(
+            key=f"{name}-x{count}",
+            spec=spec,
+            engine=engine,
+            seed=config.seed,
+            tags=(("sites", count), ("policy", name)),
+            topology=TopologySpec.uniform(
+                spec,
+                count,
+                cache_fraction=config.cache_fraction,
+                strategy=knobs["strategy"],
+            ),
+        )
+        for count in knobs["site_counts"]
+        for name, spec in specs
+    )
+    # The recipe, not a built trace: workers rebuild it deterministically,
+    # memoised per process, so nothing big crosses the pool boundary.
+    return ExperimentGrid(
+        points=points,
+        scenarios={DEFAULT_SCENARIO: ScenarioSpec(config)},
+    )

@@ -14,14 +14,16 @@ This module exploits that.  A :class:`SweepRunner` fans a list of
 the per-point :class:`~repro.sim.results.RunResult`\\ s in grid order, and can
 write one JSON artifact per point plus a manifest for offline analysis.
 
-Scenarios are handed to workers as *sources* rather than built traces:
+Scenarios are handed to workers as *sources* rather than built traces.  A
+source is anything implementing the :class:`ScenarioSource` contract --
+``realise() -> (catalog, trace)`` plus ``cache_key()``:
 
 * :class:`InlineScenario` wraps an already-built catalogue + trace (used when
   the caller wants several policies over one trace it already has);
-* any object with a ``realise() -> (catalog, trace)`` method -- e.g.
-  :class:`repro.experiments.config.ConfiguredScenario` -- is rebuilt inside
-  the worker from its (cheap, picklable) recipe, memoised per process via
-  ``cache_key()`` so a worker builds each distinct scenario at most once.
+* declarative recipes -- e.g. :class:`repro.experiments.spec.ScenarioSpec` --
+  are rebuilt inside the worker from their (cheap, picklable) knobs, memoised
+  per process via ``cache_key()`` so a worker builds each distinct scenario
+  at most once.
 
 Determinism: a point's outcome depends only on the point itself (its spec,
 scenario source and cache size), never on scheduling, so ``jobs=4`` produces
@@ -31,6 +33,7 @@ byte-identical results to ``jobs=1``.  :func:`derive_seed` provides stable,
 
 from __future__ import annotations
 
+import abc
 import json
 import zlib
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -77,8 +80,26 @@ def derive_seed(base: int, *components: object) -> int:
     return zlib.crc32(text.encode("utf-8")) & 0x7FFFFFFF
 
 
+class ScenarioSource(abc.ABC):
+    """Contract every sweep scenario source satisfies.
+
+    A source must be picklable so it can cross the process boundary with the
+    worker initialiser.  Workers call :meth:`realise` to obtain the catalogue
+    and trace; :meth:`cache_key` lets a worker memoise the build so a source
+    shared by many grid points is constructed at most once per process.
+    """
+
+    @abc.abstractmethod
+    def realise(self) -> Tuple[ObjectCatalog, Trace]:
+        """Build (or return) the scenario's catalogue and trace."""
+
+    def cache_key(self) -> Optional[object]:
+        """Hashable identity of the build recipe (``None`` = no memoisation)."""
+        return None
+
+
 @dataclass(frozen=True)
-class InlineScenario:
+class InlineScenario(ScenarioSource):
     """A sweep scenario handed over as an already-built catalogue + trace."""
 
     catalog: ObjectCatalog

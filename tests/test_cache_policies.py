@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cache.base import registry
+from repro.cache.base import EvictionPolicy, PolicyIntrospectionError, registry
 from repro.cache.gds import GreedyDualSize
 from repro.cache.landlord import Landlord
 from repro.cache.lfu import LFUPolicy
@@ -187,3 +187,49 @@ class TestRegistry:
 
     def test_names_listed(self):
         assert {"gds", "lru", "lfu", "landlord"} <= set(registry.names())
+
+
+class TestPriorityContract:
+    """``priority`` is implemented by all four policies with one error type."""
+
+    @pytest.mark.parametrize("name", ["gds", "lru", "lfu", "landlord"])
+    def test_tracked_object_has_float_priority(self, name):
+        policy = registry.create(name)
+        policy.on_load(1, size=2.0, cost=4.0, timestamp=0.5)
+        assert isinstance(policy.priority(1), float)
+
+    @pytest.mark.parametrize("name", ["gds", "lru", "lfu", "landlord"])
+    def test_untracked_object_raises_introspection_error(self, name):
+        policy = registry.create(name)
+        policy.on_load(1, size=2.0, cost=4.0, timestamp=0.5)
+        with pytest.raises(PolicyIntrospectionError):
+            policy.priority(99)
+
+    @pytest.mark.parametrize("name", ["gds", "lru", "lfu", "landlord"])
+    def test_evicted_object_is_forgotten(self, name):
+        policy = registry.create(name)
+        policy.on_load(1, size=2.0, cost=4.0, timestamp=0.5)
+        policy.on_evict(1)
+        with pytest.raises(PolicyIntrospectionError):
+            policy.priority(1)
+
+    def test_error_is_a_key_error(self):
+        # Existing ``except KeyError`` call sites must keep working.
+        assert issubclass(PolicyIntrospectionError, KeyError)
+
+    def test_base_default_raises_introspection_error(self):
+        class Opaque(EvictionPolicy):
+            def on_load(self, object_id, size, cost, timestamp):
+                pass
+
+            def on_hit(self, object_id, timestamp):
+                pass
+
+            def on_evict(self, object_id):
+                pass
+
+            def victim(self, resident):
+                return None
+
+        with pytest.raises(PolicyIntrospectionError):
+            Opaque().priority(1)

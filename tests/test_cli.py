@@ -2,13 +2,24 @@
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
+from repro import __version__
 from repro.cli import build_parser, main
 from repro.workload.trace import Trace
 
 #: Small scenario arguments shared by the CLI tests to keep them fast.
 SMALL = ["--objects", "20", "--queries", "400", "--updates", "400", "--seed", "3"]
+
+#: --set overrides producing an equally small registry experiment run.
+SMALL_SET = ["--set", "object_count=20", "--set", "query_count=400",
+             "--set", "update_count=400"]
 
 
 class TestParser:
@@ -113,3 +124,98 @@ class TestSweep:
     def test_jobs_must_be_positive(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--jobs", "0"])
+
+
+class TestVersionAndEntryPoint:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_python_m_repro(self):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 0
+        assert __version__ in proc.stdout
+
+
+class TestExperimentSubcommand:
+    def test_list_names_every_experiment(self, capsys):
+        assert main(["experiment", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("fig7a", "fig7b", "fig8a", "fig8b", "headline",
+                     "cache_size", "warmup", "ablations", "multisite"):
+            assert name in output
+
+    def test_list_markdown_is_a_table(self, capsys):
+        assert main(["experiment", "list", "--markdown"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("| Experiment |")
+        assert "| `headline` |" in output
+
+    def test_run_fig7a(self, capsys):
+        code = main(["experiment", "run", "fig7a", *SMALL_SET])
+        assert code == 0
+        assert "query hotspots" in capsys.readouterr().out
+
+    def test_run_with_knob_override_and_jobs(self, capsys):
+        code = main([
+            "experiment", "run", "cache_size", *SMALL_SET,
+            "--set", "fractions=[0.2, 0.4]",
+            "--set", 'policies=["nocache", "vcover"]',
+            "--jobs", "2",
+        ])
+        assert code == 0
+        assert "Cache-size sweep" in capsys.readouterr().out
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["experiment", "run", "does-not-exist"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_override_exits_2(self, capsys):
+        assert main(["experiment", "run", "headline", "--set", "bogus=1"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_malformed_set_exits_2(self, capsys):
+        assert main(["experiment", "run", "headline", "--set", "no-equals"]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+
+class TestScenarioSubcommand:
+    def _write(self, tmp_path, payload) -> str:
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_validate_good_file(self, tmp_path, capsys):
+        path = self._write(tmp_path, {"name": "good", "config": {
+            "object_count": 20, "query_count": 400, "update_count": 400}})
+        assert main(["scenario", "validate", path]) == 0
+        output = capsys.readouterr().out
+        assert "'good' is valid" in output
+        assert "800 (400 queries, 400 updates)" in output
+
+    def test_validate_unknown_knob_exits_2(self, tmp_path, capsys):
+        path = self._write(tmp_path, {"object_cout": 20})
+        assert main(["scenario", "validate", path]) == 2
+        assert "object_cout" in capsys.readouterr().err
+
+    def test_validate_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["scenario", "validate", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_scenario_run_end_to_end(self, tmp_path, capsys):
+        """A JSON-only scenario runs through validate + run with no Python."""
+        path = self._write(tmp_path, {"config": {
+            "object_count": 20, "query_count": 300, "update_count": 300}})
+        assert main(["scenario", "validate", path]) == 0
+        capsys.readouterr()
+        assert main(["scenario", "run", path, "--policies", "nocache", "vcover"]) == 0
+        output = capsys.readouterr().out
+        assert "nocache" in output and "vcover" in output
