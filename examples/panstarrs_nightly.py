@@ -27,7 +27,6 @@ from __future__ import annotations
 import argparse
 
 from repro.core import Delta, DeltaConfig
-from repro.network.link import NetworkLink
 from repro.repository.catalog import sdss_catalog
 from repro.workload import (
     SDSSQueryGenerator,

@@ -13,7 +13,9 @@ signatures are kept stable:
   pure data (a :class:`~repro.experiments.spec.ScenarioSpec`, possibly read
   from a JSON/TOML file) against any subset of policies,
 * :func:`format_result` -- render an experiment result the way its module's
-  ``format_*`` helper does.
+  ``format_*`` helper does,
+* :func:`run_bench` / :func:`compare_bench` -- execute a timed benchmark
+  suite and diff two result payloads (the library face of ``repro bench``).
 
 Quickstart::
 
@@ -75,11 +77,13 @@ __all__ = [
     "ScenarioSpec",
     "UnknownExperimentError",
     "UnknownOverrideError",
+    "compare_bench",
     "experiment_specs",
     "format_result",
     "get_experiment",
     "list_experiments",
     "load_scenario",
+    "run_bench",
     "run_experiment",
     "run_scenario",
     "save_scenario",
@@ -89,6 +93,27 @@ __all__ = [
 def list_experiments() -> List[str]:
     """Names of every registered experiment, in registration order."""
     return experiment_names()
+
+
+def run_bench(suite: str = "quick", jobs: int = 1) -> dict:
+    """Run a benchmark suite and return its schema-valid result payload.
+
+    See :mod:`repro.bench` for the payload layout and the available suites.
+    """
+    from repro.bench import run_suite
+
+    return run_suite(suite, jobs=jobs)
+
+
+def compare_bench(current: dict, baseline: dict, tolerance: float = 0.15):
+    """Compare two bench payloads; returns a ``ComparisonReport``.
+
+    ``report.ok`` is False when any (case, policy) timing regressed beyond
+    the relative ``tolerance``.
+    """
+    from repro.bench import compare_payloads
+
+    return compare_payloads(current, baseline, tolerance=tolerance)
 
 
 def format_result(name: str, result: object) -> str:

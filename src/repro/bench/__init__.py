@@ -1,0 +1,39 @@
+"""Performance-tracking subsystem (``repro bench``).
+
+The simulation core is engineered as a fast path; this package is what keeps
+it one.  It runs *timed scenario suites* -- named, versioned collections of
+declarative scenarios built on the experiment/scenario machinery of
+:mod:`repro.experiments` -- and emits machine-readable JSON results
+(wall-clock, events/sec, peak RSS, per-policy breakdown, git SHA) that CI
+uploads as artifacts and compares against a committed baseline.
+
+Public surface:
+
+* :data:`~repro.bench.suites.SUITES` / :func:`~repro.bench.suites.get_suite`
+  -- the named suites (``quick`` for CI, ``full`` for real machines),
+* :func:`~repro.bench.runner.run_suite` -- execute a suite, returning the
+  result payload,
+* :func:`~repro.bench.schema.validate_payload` -- schema-check a payload
+  (raises :class:`~repro.bench.schema.BenchSchemaError`),
+* :func:`~repro.bench.compare.compare_payloads` -- baseline comparison with
+  a relative tolerance, powering ``repro bench --compare`` (exit 3 on
+  regression).
+"""
+
+from repro.bench.compare import CaseComparison, ComparisonReport, compare_payloads
+from repro.bench.runner import run_suite
+from repro.bench.schema import SCHEMA_ID, BenchSchemaError, validate_payload
+from repro.bench.suites import SUITES, BenchCase, get_suite
+
+__all__ = [
+    "SCHEMA_ID",
+    "SUITES",
+    "BenchCase",
+    "BenchSchemaError",
+    "CaseComparison",
+    "ComparisonReport",
+    "compare_payloads",
+    "get_suite",
+    "run_suite",
+    "validate_payload",
+]

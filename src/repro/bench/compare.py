@@ -1,0 +1,154 @@
+"""Baseline comparison for bench payloads (``repro bench --compare``).
+
+Cases (and their per-policy rows) are matched by name between the current
+payload and a baseline.  A row regresses when its wall-clock exceeds the
+baseline by more than the relative tolerance; the CLI exits with code 3 when
+any row regresses, which is what lets CI gate on performance.  Timing noise
+is real -- especially on shared runners -- so tolerances should be generous
+(CI uses a far looser bound than a quiet workstation would).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.bench.schema import BenchSchemaError, validate_payload
+
+#: Default relative tolerance: 15% slower than baseline flags a regression.
+DEFAULT_TOLERANCE = 0.15
+
+
+@dataclass(frozen=True)
+class CaseComparison:
+    """Comparison of one (case, policy) timing row against the baseline."""
+
+    case: str
+    policy: str
+    baseline_s: float
+    current_s: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline wall-clock (1.0 = unchanged, >1 = slower)."""
+        if self.baseline_s <= 0:
+            return float("inf") if self.current_s > 0 else 1.0
+        return self.current_s / self.baseline_s
+
+    def regressed(self, tolerance: float) -> bool:
+        """Whether this row is slower than the tolerance allows."""
+        return self.ratio > 1.0 + tolerance
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of comparing a payload against a baseline."""
+
+    tolerance: float
+    rows: List[CaseComparison]
+    #: (case, policy) pairs present in only one of the payloads.
+    only_in_current: List[Tuple[str, str]]
+    only_in_baseline: List[Tuple[str, str]]
+
+    @property
+    def regressions(self) -> List[CaseComparison]:
+        """Rows slower than the tolerance allows, worst first."""
+        flagged = [row for row in self.rows if row.regressed(self.tolerance)]
+        return sorted(flagged, key=lambda row: row.ratio, reverse=True)
+
+    @property
+    def ok(self) -> bool:
+        """True when no row regressed and no baseline row went unmeasured.
+
+        Rows present only in the baseline mean coverage *shrank* -- a case or
+        policy the baseline tracks is no longer being measured -- which must
+        fail the gate just like a slow-down would (otherwise renaming a case
+        silently stops measuring it).  Rows present only in the current
+        payload are new coverage and merely reported.
+        """
+        return not self.regressions and not self.only_in_baseline
+
+    def format(self) -> str:
+        """Human-readable comparison table plus the verdict."""
+        lines = [
+            f"{'case':<20} {'policy':<10} {'baseline s':>11} {'current s':>11} "
+            f"{'ratio':>7}  verdict"
+        ]
+        for row in sorted(self.rows, key=lambda r: (r.case, r.policy)):
+            verdict = "REGRESSED" if row.regressed(self.tolerance) else "ok"
+            lines.append(
+                f"{row.case:<20} {row.policy:<10} {row.baseline_s:>11.3f} "
+                f"{row.current_s:>11.3f} {row.ratio:>6.2f}x  {verdict}"
+            )
+        for case, policy in self.only_in_current:
+            lines.append(f"{case:<20} {policy:<10} {'-':>11} {'?':>11} {'':>7}  new (no baseline)")
+        for case, policy in self.only_in_baseline:
+            lines.append(f"{case:<20} {policy:<10} {'?':>11} {'-':>11} {'':>7}  missing from current")
+        count = len(self.regressions)
+        if count:
+            lines.append(
+                f"{count} regression(s) beyond +{self.tolerance:.0%} tolerance"
+            )
+        else:
+            lines.append(f"no regressions beyond +{self.tolerance:.0%} tolerance")
+        if self.only_in_baseline:
+            lines.append(
+                f"{len(self.only_in_baseline)} baseline row(s) not measured by the "
+                "current payload -- coverage shrank; refresh the baseline if intended"
+            )
+        return "\n".join(lines)
+
+
+def _rows_by_key(payload: Dict[str, object]) -> Dict[Tuple[str, str], float]:
+    rows: Dict[Tuple[str, str], float] = {}
+    for case in payload["cases"]:
+        for row in case["policies"]:
+            rows[(case["name"], row["policy"])] = float(row["wall_clock_s"])
+    return rows
+
+
+def compare_payloads(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> ComparisonReport:
+    """Compare two schema-valid payloads row by row.
+
+    Raises :class:`~repro.bench.schema.BenchSchemaError` when either payload
+    is invalid and ``ValueError`` for a negative tolerance.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance!r}")
+    validate_payload(current)
+    validate_payload(baseline)
+    if current["schema"] != baseline["schema"]:  # future-proofing for v2
+        raise BenchSchemaError(
+            f"schema mismatch: current {current['schema']!r} "
+            f"vs baseline {baseline['schema']!r}"
+        )
+    current_rows = _rows_by_key(current)
+    baseline_rows = _rows_by_key(baseline)
+    shared = sorted(set(current_rows) & set(baseline_rows))
+    if not shared:
+        # A comparison with zero matched rows would pass vacuously -- and a
+        # CI gate comparing a renamed suite against a stale baseline would
+        # go green while checking nothing.  Treat it as operator error.
+        raise BenchSchemaError(
+            "no (case, policy) rows in common between the payloads; "
+            f"current has {sorted(current_rows)}, baseline has {sorted(baseline_rows)} "
+            "-- regenerate the baseline for the current suite"
+        )
+    return ComparisonReport(
+        tolerance=tolerance,
+        rows=[
+            CaseComparison(
+                case=case,
+                policy=policy,
+                baseline_s=baseline_rows[(case, policy)],
+                current_s=current_rows[(case, policy)],
+            )
+            for case, policy in shared
+        ],
+        only_in_current=sorted(set(current_rows) - set(baseline_rows)),
+        only_in_baseline=sorted(set(baseline_rows) - set(current_rows)),
+    )

@@ -1,0 +1,112 @@
+"""Schema of the ``repro bench`` JSON payload.
+
+A hand-rolled validator (the toolchain deliberately has no jsonschema
+dependency) that pins the payload layout CI and the comparison tool rely
+on.  ``SCHEMA_ID`` is bumped whenever the layout changes incompatibly;
+:func:`validate_payload` raises :class:`BenchSchemaError` with a
+path-qualified message on the first violation it finds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Identifier embedded in every payload; comparison refuses mixed schemas.
+SCHEMA_ID = "repro.bench/v1"
+
+
+class BenchSchemaError(ValueError):
+    """A bench payload does not match the expected schema."""
+
+
+_NUMBER = (int, float)
+
+#: Required top-level fields and their types (None = nullable string).
+_TOP_FIELDS = {
+    "schema": str,
+    "suite": str,
+    "created_unix": _NUMBER,
+    "python": str,
+    "platform": str,
+    "jobs": int,
+    "peak_rss_mb": _NUMBER,
+    "totals": dict,
+    "cases": list,
+}
+
+_TOTALS_FIELDS = {
+    "wall_clock_s": _NUMBER,
+    "policy_runs": int,
+    "events": int,
+    "events_per_s": _NUMBER,
+}
+
+_CASE_FIELDS = {
+    "name": str,
+    "description": str,
+    "events": int,
+    "sites": int,
+    "repeats": int,
+    "build_wall_clock_s": _NUMBER,
+    "wall_clock_s": _NUMBER,
+    "events_per_s": _NUMBER,
+    "peak_rss_mb": _NUMBER,
+    "policies": list,
+}
+
+_POLICY_FIELDS = {
+    "policy": str,
+    "wall_clock_s": _NUMBER,
+    "events": int,
+    "events_per_s": _NUMBER,
+    "total_traffic_mb": _NUMBER,
+    "queries_answered_at_cache": int,
+}
+
+
+def _check_fields(mapping: object, fields: Dict[str, object], where: str) -> None:
+    if not isinstance(mapping, dict):
+        raise BenchSchemaError(f"{where}: expected an object, got {type(mapping).__name__}")
+    for key, expected in fields.items():
+        if key not in mapping:
+            raise BenchSchemaError(f"{where}: missing required field {key!r}")
+        value = mapping[key]
+        if isinstance(expected, tuple):
+            ok = isinstance(value, expected) and not isinstance(value, bool)
+        else:
+            ok = isinstance(value, expected) and not (
+                expected is int and isinstance(value, bool)
+            )
+        if not ok:
+            raise BenchSchemaError(
+                f"{where}.{key}: expected {getattr(expected, '__name__', 'number')}, "
+                f"got {type(value).__name__}"
+            )
+
+
+def validate_payload(payload: object) -> None:
+    """Raise :class:`BenchSchemaError` unless ``payload`` is a valid result."""
+    _check_fields(payload, _TOP_FIELDS, "payload")
+    assert isinstance(payload, dict)
+    if payload["schema"] != SCHEMA_ID:
+        raise BenchSchemaError(
+            f"payload.schema: expected {SCHEMA_ID!r}, got {payload['schema']!r}"
+        )
+    sha = payload.get("git_sha")
+    if sha is not None and not isinstance(sha, str):
+        raise BenchSchemaError("payload.git_sha: expected a string or null")
+    _check_fields(payload["totals"], _TOTALS_FIELDS, "payload.totals")
+    cases = payload["cases"]
+    if not cases:
+        raise BenchSchemaError("payload.cases: must not be empty")
+    seen = set()
+    for position, case in enumerate(cases):
+        where = f"payload.cases[{position}]"
+        _check_fields(case, _CASE_FIELDS, where)
+        if case["name"] in seen:
+            raise BenchSchemaError(f"{where}.name: duplicate case name {case['name']!r}")
+        seen.add(case["name"])
+        if not case["policies"]:
+            raise BenchSchemaError(f"{where}.policies: must not be empty")
+        for index, row in enumerate(case["policies"]):
+            _check_fields(row, _POLICY_FIELDS, f"{where}.policies[{index}]")

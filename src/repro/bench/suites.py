@@ -1,0 +1,136 @@
+"""Named benchmark suites: declarative scenarios with timing targets.
+
+A :class:`BenchCase` is a frozen, picklable recipe -- scenario config
+overrides on top of the standard :class:`~repro.experiments.config.ExperimentConfig`
+defaults, the policies to replay, and (optionally) a multi-site topology.
+Cases reuse the declarative scenario machinery
+(:class:`~repro.experiments.spec.ScenarioSpec`), so a benchmark measures
+exactly what the experiments run, never a parallel hand-rolled setup.
+
+Two suites ship by default:
+
+* ``quick`` -- small enough for every CI run (tens of seconds on a shared
+  runner), covering the single-cache engine across all five policies, a
+  VCover-heavy decision workload, and the multi-cache engine;
+* ``full`` -- the paper-scale defaults, for tracking real machines over
+  time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.experiments.config import ExperimentConfig
+
+#: Policies every suite exercises by default (the paper's five).
+ALL_POLICIES = ("nocache", "replica", "benefit", "vcover", "soptimal")
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One timed scenario of a suite.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier; baselines are matched case-by-case on it.
+    description:
+        One line for reports.
+    overrides:
+        ``ExperimentConfig`` fields overriding the defaults (kept as a tuple
+        of pairs so the case is hashable and picklable).
+    policies:
+        Policies replayed (each timed separately).
+    cache_fraction:
+        Cache size override for the runs (None = the config's own).
+    sites:
+        Number of cache sites; 1 uses the single-cache engine, >1 replays
+        the trace against a uniform fleet via the multi-cache engine.
+    repeats:
+        How many times each policy run is repeated; the *best* wall-clock is
+        recorded (standard practice to suppress scheduler noise).
+    """
+
+    name: str
+    description: str
+    overrides: Tuple[Tuple[str, object], ...] = ()
+    policies: Tuple[str, ...] = ALL_POLICIES
+    cache_fraction: Optional[float] = None
+    sites: int = 1
+    repeats: int = 1
+
+    def config(self) -> ExperimentConfig:
+        """The scenario config the case replays."""
+        return ExperimentConfig().scaled(**dict(self.overrides))
+
+
+def _case(name: str, description: str, /, **kwargs) -> BenchCase:
+    overrides = tuple(sorted(kwargs.pop("overrides", {}).items()))
+    return BenchCase(name=name, description=description, overrides=overrides, **kwargs)
+
+
+#: The named suites. Keep case names stable: the committed CI baseline and
+#: any locally saved baselines are matched on them.
+SUITES: Dict[str, Tuple[BenchCase, ...]] = {
+    "quick": (
+        # best-of-3 keeps CI timings stable enough to gate on: the quick
+        # cases are fast, so single runs are dominated by scheduler noise.
+        _case(
+            "headline-quick",
+            "all five policies over a 4k-event headline-shaped trace",
+            overrides={"query_count": 2000, "update_count": 2000},
+            repeats=3,
+        ),
+        _case(
+            "vcover-deep-quick",
+            "VCover alone over a 6k-event trace (decision-loop stress)",
+            overrides={"query_count": 3000, "update_count": 3000},
+            policies=("vcover",),
+            repeats=3,
+        ),
+        _case(
+            "multisite-quick",
+            "two-site vcover fleet over a 3k-event trace (multi-cache engine)",
+            overrides={"query_count": 1500, "update_count": 1500},
+            policies=("vcover",),
+            sites=2,
+            repeats=3,
+        ),
+    ),
+    "full": (
+        _case(
+            "headline-full",
+            "all five policies over the paper-scale 12k-event default trace",
+        ),
+        _case(
+            "vcover-deep-full",
+            "VCover alone over a 16k-event trace (decision-loop stress)",
+            overrides={"query_count": 8000, "update_count": 8000},
+            policies=("vcover",),
+        ),
+        _case(
+            "cache-sweep-full",
+            "vcover/nocache at a tight 10% cache (eviction-heavy)",
+            overrides={"query_count": 4000, "update_count": 4000},
+            policies=("vcover", "nocache"),
+            cache_fraction=0.1,
+        ),
+        _case(
+            "multisite-full",
+            "four-site vcover fleet over the 12k-event default trace",
+            policies=("vcover",),
+            sites=4,
+        ),
+    ),
+}
+
+
+def get_suite(name: str) -> Tuple[BenchCase, ...]:
+    """Look up a suite by name (raises ``KeyError`` with the known names)."""
+    try:
+        return SUITES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown bench suite {name!r}; known suites: {sorted(SUITES)}"
+        ) from None

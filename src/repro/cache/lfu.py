@@ -7,7 +7,7 @@ purely as an ablation point.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional
 
 from repro.cache.base import EvictionPolicy, PolicyIntrospectionError, registry
 

@@ -12,11 +12,11 @@ All sizes and capacities are in MB, consistent with the rest of the library.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Set
 
 
-@dataclass
+@dataclass(slots=True)
 class CachedObject:
     """Book-keeping record for one resident data object."""
 

@@ -27,8 +27,8 @@ poorly on evolving scientific workloads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
 
 from repro.core.decoupling import QueryAction, QueryOutcome
 from repro.core.policy import BaseCachePolicy

@@ -15,7 +15,7 @@ currency guarantees uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import FrozenSet, List
 
 
 class QueryAction:

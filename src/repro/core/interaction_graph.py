@@ -23,11 +23,11 @@ currently outstanding updates*, which the policy bookkeeping guarantees.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
 
 from repro.flow.incremental import IncrementalMaxFlow
-from repro.flow.vertex_cover import BipartiteCoverInstance, CoverResult
+from repro.flow.vertex_cover import BipartiteCoverInstance
 from repro.repository.queries import Query
 from repro.repository.updates import Update
 
@@ -77,8 +77,12 @@ class InteractionGraph:
         self._active_update_keys: Dict[int, UpdateKey] = {}
         #: The Update value each active update vertex represents (identity check).
         self._update_identity: Dict[int, Update] = {}
-        #: Edges between active vertex keys.
-        self._edges: Set[Tuple[QueryKey, UpdateKey]] = set()
+        #: Edges between active vertex keys, stored as per-vertex incidence
+        #: sets so retiring a vertex removes exactly its own edges instead of
+        #: rebuilding the whole edge set (the remainder subgraph is small but
+        #: the accumulated edge set is not).
+        self._edges_by_query: Dict[QueryKey, Set[UpdateKey]] = {}
+        self._edges_by_update: Dict[UpdateKey, Set[QueryKey]] = {}
         self._covers_computed = 0
 
     # ------------------------------------------------------------------
@@ -118,7 +122,8 @@ class InteractionGraph:
         if update_key is None:
             raise KeyError(f"update {update.update_id} has not been added")
         self._flow.add_edge(query_key, update_key)
-        self._edges.add((query_key, update_key))
+        self._edges_by_query.setdefault(query_key, set()).add(update_key)
+        self._edges_by_update.setdefault(update_key, set()).add(query_key)
 
     # ------------------------------------------------------------------
     # Cover computation and remainder maintenance
@@ -147,8 +152,8 @@ class InteractionGraph:
         ]
         self._flow.retire(left=retired_queries, right=list(cover_update_keys))
         self._active_query_keys.difference_update(retired_queries)
+        self._remove_query_edges(retired_queries)
         self._retire_update_keys(cover_update_keys, already_retired_in_flow=True)
-        self._prune_edges()
         self._prune_isolated_queries()
         self._maybe_compact()
 
@@ -173,7 +178,6 @@ class InteractionGraph:
         if not keys:
             return
         self._retire_update_keys(keys)
-        self._prune_edges()
         self._prune_isolated_queries()
         self._maybe_compact()
 
@@ -191,14 +195,22 @@ class InteractionGraph:
             if self._active_update_keys.get(update_id) == key:
                 self._active_update_keys.pop(update_id, None)
                 self._update_identity.pop(update_id, None)
+            for query_key in self._edges_by_update.pop(key, ()):
+                edges = self._edges_by_query.get(query_key)
+                if edges is not None:
+                    edges.discard(key)
+                    if not edges:
+                        del self._edges_by_query[query_key]
 
-    def _prune_edges(self) -> None:
-        active_update_keys = set(self._active_update_keys.values())
-        self._edges = {
-            (query_key, update_key)
-            for (query_key, update_key) in self._edges
-            if query_key in self._active_query_keys and update_key in active_update_keys
-        }
+    def _remove_query_edges(self, query_keys: Iterable[QueryKey]) -> None:
+        """Drop the edges of retired query vertices from the incidence maps."""
+        for key in query_keys:
+            for update_key in self._edges_by_query.pop(key, ()):
+                edges = self._edges_by_update.get(update_key)
+                if edges is not None:
+                    edges.discard(key)
+                    if not edges:
+                        del self._edges_by_update[update_key]
 
     def _prune_isolated_queries(self) -> None:
         """Retire query vertices with no remaining active edges.
@@ -207,12 +219,14 @@ class InteractionGraph:
         whose interacting updates have all been shipped or dropped can never
         influence a future cover; keeping it would only bloat the network.
         """
-        with_edges = {query_key for query_key, _ in self._edges}
-        isolated = [key for key in self._active_query_keys if key not in with_edges]
+        edges_by_query = self._edges_by_query
+        isolated = [key for key in self._active_query_keys if not edges_by_query.get(key)]
         if not isolated:
             return
         self._flow.retire(left=isolated)
         self._active_query_keys.difference_update(isolated)
+        for key in isolated:
+            edges_by_query.pop(key, None)
 
     def _maybe_compact(self) -> None:
         """Compact the flow network when retired vertices dominate it."""
@@ -236,7 +250,7 @@ class InteractionGraph:
     @property
     def edge_count(self) -> int:
         """Number of edges in the remainder subgraph."""
-        return len(self._edges)
+        return sum(len(edges) for edges in self._edges_by_query.values())
 
     @property
     def covers_computed(self) -> int:

@@ -25,11 +25,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 from repro.cache.base import EvictionPolicy
 from repro.cache.gds import GreedyDualSize
-from repro.cache.lazy import LazyAdmission, LoadPlan
+from repro.cache.lazy import LazyAdmission
 from repro.cache.store import CacheStore
 from repro.repository.queries import Query
 

@@ -12,14 +12,10 @@ UpdateManager against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
-from repro.flow.vertex_cover import (
-    BipartiteCoverInstance,
-    CoverResult,
-    min_weight_vertex_cover,
-)
+from repro.flow.vertex_cover import BipartiteCoverInstance, min_weight_vertex_cover
 from repro.repository.queries import Query
 from repro.repository.updates import Update
 

@@ -16,7 +16,7 @@ shipping updates with correct cost accounting -- so the concrete policies
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.cache.store import CacheStore
 from repro.core.decoupling import QueryOutcome
@@ -80,6 +80,13 @@ class BaseCachePolicy(CachePolicy):
         #: update (e.g. a vertex-cover pick) resolves in O(1) instead of a
         #: scan over every resident object's outstanding list.
         self._outstanding_by_id: Dict[int, Update] = {}
+        #: Upper bound on the newest outstanding timestamp per object,
+        #: maintained on registration and dropped with the object.  Lets
+        #: :meth:`interacting_updates` answer the common "query tolerates
+        #: nothing, every outstanding update interacts" case without touching
+        #: the per-update timestamps at all (removals may leave the bound
+        #: stale-high, which only skips the shortcut, never falsifies it).
+        self._outstanding_max_ts: Dict[int, float] = {}
         self._queries_seen = 0
         self._updates_seen = 0
 
@@ -128,10 +135,14 @@ class BaseCachePolicy(CachePolicy):
     def _register_update(self, update: Update) -> None:
         """Record an update against the cached copy of its object (if any)."""
         self._updates_seen += 1
-        if update.object_id in self._store:
-            self._store.mark_stale(update.object_id)
-            self._outstanding.setdefault(update.object_id, []).append(update)
+        object_id = update.object_id
+        if object_id in self._store:
+            self._store.mark_stale(object_id)
+            self._outstanding.setdefault(object_id, []).append(update)
             self._outstanding_by_id[update.update_id] = update
+            known = self._outstanding_max_ts.get(object_id)
+            if known is None or update.timestamp > known:
+                self._outstanding_max_ts[object_id] = update.timestamp
 
     # ------------------------------------------------------------------
     # Currency reasoning
@@ -142,12 +153,19 @@ class BaseCachePolicy(CachePolicy):
         These are the updates older than the query's tolerance window
         (``u.timestamp <= q.timestamp - t(q)``); newer outstanding updates may
         be ignored without violating the query's currency requirement.
+
+        The common case -- an intolerant query replayed from a time-ordered
+        trace, where every outstanding update is older than the query -- is
+        answered from the per-object timestamp bound without filtering.
         """
-        return [
-            update
-            for update in self._outstanding.get(object_id, ())
-            if query.requires_update(update.timestamp)
-        ]
+        pending = self._outstanding.get(object_id)
+        if not pending:
+            return []
+        threshold = query.staleness_threshold
+        newest = self._outstanding_max_ts.get(object_id)
+        if newest is not None and newest <= threshold:
+            return list(pending)
+        return [update for update in pending if update.timestamp <= threshold]
 
     def cache_satisfies(self, query: Query) -> bool:
         """Whether the cached copies alone satisfy the query's currency."""
@@ -186,6 +204,7 @@ class BaseCachePolicy(CachePolicy):
         )
         if not pending:
             self._outstanding.pop(object_id, None)
+            self._outstanding_max_ts.pop(object_id, None)
             if object_id in self._store:
                 self._store.mark_fresh(object_id, self._repository.object_version(object_id))
         return update.cost
@@ -226,6 +245,7 @@ class BaseCachePolicy(CachePolicy):
         """Forget all outstanding updates of one object (evicted/reloaded)."""
         for update in self._outstanding.pop(object_id, ()):
             self._outstanding_by_id.pop(update.update_id, None)
+        self._outstanding_max_ts.pop(object_id, None)
 
     def record_cache_answer(self, query: Query) -> None:
         """Record a cache hit on every object the query touches."""

@@ -13,9 +13,8 @@ callbacks from the policy so it can be unit-tested with fakes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
-from repro.core.decoupling import QueryAction, QueryOutcome
 from repro.core.interaction_graph import InteractionGraph
 from repro.repository.queries import Query
 from repro.repository.updates import Update

@@ -18,11 +18,10 @@ the policy's :class:`repro.network.link.NetworkLink`.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.cache.base import EvictionPolicy
-from repro.cache.gds import GreedyDualSize
 from repro.core.decoupling import QueryAction, QueryOutcome
 from repro.core.load_manager import LoadManager
 from repro.core.policy import BaseCachePolicy
@@ -146,11 +145,11 @@ class VCoverPolicy(BaseCachePolicy):
     # In-cache path: UpdateManager
     # ------------------------------------------------------------------
     def _handle_in_cache(self, query: Query) -> QueryOutcome:
-        interacting = {
-            object_id: self.interacting_updates(query, object_id)
-            for object_id in query.object_ids
-        }
-        interacting = {oid: updates for oid, updates in interacting.items() if updates}
+        interacting: Dict[int, List[Update]] = {}
+        for object_id in query.object_ids:
+            updates = self.interacting_updates(query, object_id)
+            if updates:
+                interacting[object_id] = updates
         decision = self._update_manager.decide(query, interacting)
 
         outcome = QueryOutcome(query_id=query.query_id, action=QueryAction.ANSWERED_AT_CACHE)

@@ -16,8 +16,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from repro.core.decoupling import DecouplingDecision, QueryAction, QueryOutcome
 from repro.core.policy import BaseCachePolicy

@@ -17,8 +17,8 @@ ratios the paper reports.  Benchmarks scale the event counts up.
 
 from __future__ import annotations
 
-from dataclasses import astuple, dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from dataclasses import astuple, dataclass, replace
+from typing import List, Optional
 
 from repro.repository.catalog import DEFAULT_SCALE, PAPER_SERVER_SIZE_MB, sdss_catalog
 from repro.repository.objects import ObjectCatalog

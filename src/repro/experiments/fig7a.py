@@ -20,8 +20,8 @@ that make the figure's claims checkable without eyeballs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Tuple
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.registry import (

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass, field, fields as dataclass_fields
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.spec import CONFIG_FIELDS, config_from_mapping

@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, astuple, dataclass, fields, replace
 from pathlib import Path
-from typing import Dict, Mapping, Optional, Tuple, Union
+from typing import Dict, Mapping, Tuple, Union
 
 from repro.experiments.config import ExperimentConfig, Scenario, build_scenario
 from repro.repository.objects import ObjectCatalog

@@ -27,7 +27,7 @@ EPSILON = 1e-9
 Vertex = Hashable
 
 
-@dataclass
+@dataclass(slots=True)
 class Arc:
     """A single directed arc in the residual graph.
 
@@ -35,6 +35,10 @@ class Arc:
     :class:`Arc` objects: the forward arc (capacity ``c``) and the backward
     arc (capacity ``0``).  ``partner`` links the two so that pushing flow on
     one increases the residual capacity of the other.
+
+    Arcs are the single most numerous objects in a run (every augmenting-path
+    search touches them all), so the class is slotted and the solvers read
+    ``capacity - flow`` directly instead of going through :attr:`residual`.
     """
 
     tail: Vertex
@@ -151,6 +155,16 @@ class FlowNetwork:
         """Iterate over all arcs (forward and residual) leaving ``vertex``."""
         return self._adjacency.get(vertex, ())
 
+    def adjacency(self) -> Dict[Vertex, List[Arc]]:
+        """The vertex -> outgoing-arcs map itself (solver fast path).
+
+        The max-flow solvers walk every arc of the residual graph many times
+        per augmentation; handing them the underlying dict avoids a method
+        call per visited vertex.  Callers must treat the mapping and its
+        lists as read-only.
+        """
+        return self._adjacency
+
     def forward_edges(self) -> Iterator[Arc]:
         """Iterate over every forward (original) arc in the network."""
         return iter(self._edge_index.values())
@@ -195,14 +209,16 @@ class FlowNetwork:
         """Vertices reachable from ``source`` using arcs with positive residual."""
         if source not in self._adjacency:
             return set()
+        adjacency = self._adjacency
         seen = {source}
         stack = [source]
         while stack:
             vertex = stack.pop()
-            for arc in self._adjacency[vertex]:
-                if arc.residual > EPSILON and arc.head not in seen:
-                    seen.add(arc.head)
-                    stack.append(arc.head)
+            for arc in adjacency[vertex]:
+                head = arc.head
+                if arc.capacity - arc.flow > EPSILON and head not in seen:
+                    seen.add(head)
+                    stack.append(head)
         return seen
 
     # ------------------------------------------------------------------

@@ -20,7 +20,7 @@ flow is untouched.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, Set, Tuple
 
 from repro.flow.graph import EPSILON, FlowNetwork
 from repro.flow.maxflow import solve_max_flow
@@ -61,6 +61,13 @@ class IncrementalMaxFlow:
         self._edges: Set[Tuple[Vertex, Vertex]] = set()
         self._retired_left: Set[Vertex] = set()
         self._retired_right: Set[Vertex] = set()
+        # Edges with both endpoints active, maintained incrementally (plus
+        # per-vertex incidence) so that cover extraction never rescans the
+        # full accumulated edge set -- with thousands of retired edges that
+        # rescan used to dominate the decision loop.
+        self._active_edge_set: Set[Tuple[Vertex, Vertex]] = set()
+        self._left_incident: Dict[Vertex, Set[Tuple[Vertex, Vertex]]] = {}
+        self._right_incident: Dict[Vertex, Set[Tuple[Vertex, Vertex]]] = {}
         self._augmentations = 0
 
     # ------------------------------------------------------------------
@@ -87,7 +94,12 @@ class IncrementalMaxFlow:
                 f"cannot decrease weight of left vertex {vertex!r} "
                 f"from {current!r} to {weight!r}"
             )
-        self._retired_left.discard(vertex)
+        if vertex in self._retired_left:
+            self._retired_left.discard(vertex)
+            retired_right = self._retired_right
+            for edge in self._left_incident.get(vertex, ()):
+                if edge[1] not in retired_right:
+                    self._active_edge_set.add(edge)
 
     def add_right(self, vertex: Vertex, weight: float) -> None:
         """Register a right-side (update) vertex with the given weight."""
@@ -105,7 +117,12 @@ class IncrementalMaxFlow:
                 f"cannot decrease weight of right vertex {vertex!r} "
                 f"from {current!r} to {weight!r}"
             )
-        self._retired_right.discard(vertex)
+        if vertex in self._retired_right:
+            self._retired_right.discard(vertex)
+            retired_left = self._retired_left
+            for edge in self._right_incident.get(vertex, ()):
+                if edge[0] not in retired_left:
+                    self._active_edge_set.add(edge)
 
     def add_edge(self, left: Vertex, right: Vertex) -> None:
         """Register an interaction edge between a query and an update vertex."""
@@ -113,9 +130,14 @@ class IncrementalMaxFlow:
             raise KeyError(f"left vertex {left!r} has not been added")
         if right not in self._right_weights:
             raise KeyError(f"right vertex {right!r} has not been added")
-        if (left, right) in self._edges:
+        edge = (left, right)
+        if edge in self._edges:
             return
-        self._edges.add((left, right))
+        self._edges.add(edge)
+        self._left_incident.setdefault(left, set()).add(edge)
+        self._right_incident.setdefault(right, set()).add(edge)
+        if left not in self._retired_left and right not in self._retired_right:
+            self._active_edge_set.add(edge)
         self._network.add_edge(("L", left), ("R", right), INFINITE_CAPACITY)
 
     def has_left(self, vertex: Vertex) -> bool:
@@ -139,11 +161,17 @@ class IncrementalMaxFlow:
         start; only the reporting changes.
         """
         for vertex in left:
-            if vertex in self._left_weights:
+            if vertex in self._left_weights and vertex not in self._retired_left:
                 self._retired_left.add(vertex)
+                incident = self._left_incident.get(vertex)
+                if incident:
+                    self._active_edge_set.difference_update(incident)
         for vertex in right:
-            if vertex in self._right_weights:
+            if vertex in self._right_weights and vertex not in self._retired_right:
                 self._retired_right.add(vertex)
+                incident = self._right_incident.get(vertex)
+                if incident:
+                    self._active_edge_set.difference_update(incident)
 
     @property
     def active_left(self) -> FrozenSet[Vertex]:
@@ -158,11 +186,7 @@ class IncrementalMaxFlow:
     @property
     def active_edges(self) -> FrozenSet[Tuple[Vertex, Vertex]]:
         """Interaction edges whose both endpoints are active."""
-        return frozenset(
-            (left, right)
-            for left, right in self._edges
-            if left not in self._retired_left and right not in self._retired_right
-        )
+        return frozenset(self._active_edge_set)
 
     @property
     def augmentation_count(self) -> int:
@@ -182,9 +206,11 @@ class IncrementalMaxFlow:
         solve_max_flow(self._network, SOURCE, SINK, method=self._method)
         self._augmentations += 1
         reachable = self._network.residual_reachable(SOURCE)
-        active_edges = self.active_edges
-        touched_left = {left for left, _ in active_edges}
-        touched_right = {right for _, right in active_edges}
+        touched_left = set()
+        touched_right = set()
+        for left, right in self._active_edge_set:
+            touched_left.add(left)
+            touched_right.add(right)
         left_in_cover = frozenset(
             vertex
             for vertex in touched_left
@@ -284,6 +310,12 @@ class IncrementalMaxFlow:
         self._edges = set(surviving_edges)
         self._retired_left.clear()
         self._retired_right.clear()
+        self._active_edge_set = set(surviving_edges)
+        self._left_incident = {}
+        self._right_incident = {}
+        for edge in surviving_edges:
+            self._left_incident.setdefault(edge[0], set()).add(edge)
+            self._right_incident.setdefault(edge[1], set()).add(edge)
 
     # ------------------------------------------------------------------
     # Introspection / testing helpers

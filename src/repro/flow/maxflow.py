@@ -31,14 +31,16 @@ def _bfs_augmenting_path(
     parents: Dict[Vertex, Arc] = {}
     visited = {source}
     queue = deque([source])
+    adjacency = network.adjacency()
     while queue:
         vertex = queue.popleft()
-        for arc in network.arcs_from(vertex):
-            if arc.residual <= EPSILON or arc.head in visited:
+        for arc in adjacency[vertex]:
+            head = arc.head
+            if arc.capacity - arc.flow <= EPSILON or head in visited:
                 continue
-            visited.add(arc.head)
-            parents[arc.head] = arc
-            if arc.head == sink:
+            visited.add(head)
+            parents[head] = arc
+            if head == sink:
                 path: List[Arc] = []
                 node = sink
                 while node != source:
@@ -47,7 +49,7 @@ def _bfs_augmenting_path(
                     node = arc_in.tail
                 path.reverse()
                 return path
-            queue.append(arc.head)
+            queue.append(head)
     return None
 
 
@@ -65,7 +67,7 @@ def edmonds_karp_max_flow(network: FlowNetwork, source: Vertex, sink: Vertex) ->
         path = _bfs_augmenting_path(network, source, sink)
         if path is None:
             break
-        bottleneck = min(arc.residual for arc in path)
+        bottleneck = min(arc.capacity - arc.flow for arc in path)
         if bottleneck <= EPSILON:
             break
         for arc in path:
@@ -85,15 +87,19 @@ class _DinicState:
 
     def build_levels(self) -> bool:
         """BFS layering of the residual graph; returns True if sink reachable."""
-        self.levels = {self.source: 0}
+        levels = {self.source: 0}
+        self.levels = levels
         queue = deque([self.source])
+        adjacency = self.network.adjacency()
         while queue:
             vertex = queue.popleft()
-            for arc in self.network.arcs_from(vertex):
-                if arc.residual > EPSILON and arc.head not in self.levels:
-                    self.levels[arc.head] = self.levels[vertex] + 1
-                    queue.append(arc.head)
-        return self.sink in self.levels
+            next_level = levels[vertex] + 1
+            for arc in adjacency[vertex]:
+                head = arc.head
+                if arc.capacity - arc.flow > EPSILON and head not in levels:
+                    levels[head] = next_level
+                    queue.append(head)
+        return self.sink in levels
 
     def send_blocking_flow(self, vertex: Vertex, limit: float) -> float:
         """DFS that pushes a blocking flow from ``vertex`` toward the sink."""
@@ -101,13 +107,13 @@ class _DinicState:
             return limit
         arcs = list(self.network.arcs_from(vertex))
         position = self.iter_pos.get(vertex, 0)
+        levels = self.levels
+        next_level = levels[vertex] + 1
         while position < len(arcs):
             arc = arcs[position]
-            if (
-                arc.residual > EPSILON
-                and self.levels.get(arc.head, -1) == self.levels[vertex] + 1
-            ):
-                pushed = self.send_blocking_flow(arc.head, min(limit, arc.residual))
+            residual = arc.capacity - arc.flow
+            if residual > EPSILON and levels.get(arc.head, -1) == next_level:
+                pushed = self.send_blocking_flow(arc.head, min(limit, residual))
                 if pushed > EPSILON:
                     arc.push(pushed)
                     self.iter_pos[vertex] = position

@@ -24,8 +24,8 @@ returns a :class:`CoverResult`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Set, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Iterable, Mapping, Set, Tuple
 
 from repro.flow.graph import EPSILON, FlowNetwork
 from repro.flow.maxflow import solve_max_flow

@@ -9,9 +9,10 @@ breakdowns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro._compat import SlottedFrozenPickle
 from repro.network.cost import LinearCostModel, TrafficCostModel
 
 
@@ -25,8 +26,8 @@ class Mechanism:
     ALL = (QUERY_SHIPPING, UPDATE_SHIPPING, OBJECT_LOADING)
 
 
-@dataclass(frozen=True)
-class TransferRecord:
+@dataclass(frozen=True, slots=True)
+class TransferRecord(SlottedFrozenPickle):
     """One charged transfer."""
 
     mechanism: str

@@ -15,7 +15,7 @@ range while preserving every ratio the evaluation reports.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.repository.objects import GB, ObjectCatalog
 

@@ -13,9 +13,8 @@ sizes and identifiers stay consistent.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional
 
 #: Conversion helpers; costs in this library are expressed in megabytes (MB)
 #: so the numbers stay human-readable at laptop scale.

@@ -16,8 +16,10 @@ partitioning -- see :mod:`repro.sky`).  The optional :attr:`Query.sql` and
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Iterator, Optional
+
+from repro._compat import SlottedFrozenPickle
 
 
 class QueryTemplate:
@@ -32,8 +34,8 @@ class QueryTemplate:
     ALL = (RANGE, SPATIAL_JOIN, SELECTION, AGGREGATION, FULL_SCAN)
 
 
-@dataclass(frozen=True)
-class Query:
+@dataclass(frozen=True, slots=True)
+class Query(SlottedFrozenPickle):
     """A single read-only query event.
 
     Attributes
@@ -88,6 +90,17 @@ class Query:
         """Alias for :attr:`object_ids` matching the paper's ``B(q)`` notation."""
         return self.object_ids
 
+    @property
+    def staleness_threshold(self) -> float:
+        """Newest update timestamp the answer must still reflect.
+
+        The single definition of the currency rule: an update interacts with
+        this query iff ``update.timestamp <= staleness_threshold``.  Both
+        :meth:`requires_update` and the policy-layer fast paths derive from
+        it so the inequality can never diverge.
+        """
+        return self.timestamp - self.tolerance
+
     def requires_update(self, update_timestamp: float) -> bool:
         """Whether an update at ``update_timestamp`` must be reflected in the answer.
 
@@ -95,7 +108,7 @@ class Query:
         last ``t(q)`` time units (relative to the query's own timestamp) may be
         omitted; everything older must be incorporated.
         """
-        return update_timestamp <= self.timestamp - self.tolerance
+        return update_timestamp <= self.staleness_threshold
 
     def touches(self, object_id: int) -> bool:
         """Whether the query accesses ``object_id``."""

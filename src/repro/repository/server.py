@@ -20,9 +20,9 @@ version is missing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
-from repro.repository.objects import DataObject, ObjectCatalog
+from repro.repository.objects import ObjectCatalog
 from repro.repository.queries import Query
 from repro.repository.updates import Update
 

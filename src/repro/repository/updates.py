@@ -11,8 +11,10 @@ update is shipped (or the object is reloaded).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro._compat import SlottedFrozenPickle
 
 
 class UpdateKind:
@@ -30,8 +32,8 @@ class UpdateKind:
     ALL = (INSERT, MODIFY, DELETE)
 
 
-@dataclass(frozen=True)
-class Update:
+@dataclass(frozen=True, slots=True)
+class Update(SlottedFrozenPickle):
     """A single update event.
 
     Attributes

@@ -20,13 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
-from repro.core.decoupling import QueryOutcome
 from repro.core.policy import CachePolicy
 from repro.network.link import NetworkLink
 from repro.repository.server import Repository
 from repro.sim.metrics import CacheOccupancySeries, TrafficTimeSeries
 from repro.sim.results import RunResult
-from repro.workload.trace import QueryEvent, Trace, UpdateEvent
+from repro.workload.trace import Trace
 
 
 @dataclass
@@ -75,11 +74,12 @@ class SimulationEngine:
             sampling point, for long interactive runs.
         """
         config = self._config
-        series = TrafficTimeSeries(link, sample_every=config.sample_every)
+        sample_every = config.sample_every
+        measure_from = config.measure_from
+        series = TrafficTimeSeries(link, sample_every=sample_every)
+        store = getattr(policy, "store", None)
         occupancy: Optional[CacheOccupancySeries] = (
-            CacheOccupancySeries(sample_every=config.sample_every)
-            if hasattr(policy, "store")
-            else None
+            CacheOccupancySeries(sample_every=sample_every) if store is not None else None
         )
 
         if config.allow_offline_preparation:
@@ -90,32 +90,47 @@ class SimulationEngine:
         shipped = 0
         total_events = len(trace)
 
-        for index, event in enumerate(trace):
-            if index == config.measure_from:
+        # Hot loop: the trace is replayed once per policy per experiment, so
+        # the per-event work is kept to a dict-free minimum -- type-tagged
+        # dispatch instead of isinstance checks, bound methods hoisted out of
+        # the loop, and sampling gated by plain counter arithmetic instead of
+        # a modulo on every event.
+        ingest_update = self._repository.ingest_update
+        on_update = policy.on_update
+        on_query = policy.on_query
+        next_sample = sample_every
+        index = 0
+        reported_final = False
+        for is_update, payload in trace.tagged_events():
+            if index == measure_from:
                 warmup_traffic = link.total_cost
-            if isinstance(event, UpdateEvent):
-                self._repository.ingest_update(event.update)
-                policy.on_update(event.update)
-            elif isinstance(event, QueryEvent):
-                outcome = policy.on_query(event.query)
-                if outcome.answered_at_cache:
+            if is_update:
+                ingest_update(payload)
+                on_update(payload)
+            else:
+                if on_query(payload).answered_at_cache:
                     answered_at_cache += 1
                 else:
                     shipped += 1
-            else:  # pragma: no cover - the trace type system prevents this
-                raise TypeError(f"unknown event type {type(event)!r}")
-
-            series.maybe_sample(index + 1)
-            if occupancy is not None:
-                store = policy.store
-                occupancy.maybe_sample(index + 1, store.used, store.capacity, len(store))
-            if progress is not None and (index + 1) % config.sample_every == 0:
-                progress(index + 1, total_events)
+            index += 1
+            if index == next_sample:
+                next_sample += sample_every
+                series.sample(index)
+                if occupancy is not None:
+                    occupancy.sample(index, store.used, store.capacity, len(store))
+                if progress is not None:
+                    progress(index, total_events)
+                    if index == total_events:
+                        reported_final = True
 
         policy.finalize()
         series.sample(total_events)
-        if config.measure_from >= total_events:
+        if measure_from >= total_events:
             warmup_traffic = link.total_cost
+        if progress is not None and not reported_final:
+            # Short traces never hit a sampling boundary; always report
+            # completion so interactive callers see the run finish.
+            progress(total_events, total_events)
 
         policy_stats: Dict[str, float] = {}
         if hasattr(policy, "stats"):

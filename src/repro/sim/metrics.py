@@ -10,12 +10,12 @@ storing per-event data for half a million events: samples are taken every
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.network.link import Mechanism, NetworkLink
 
 
-@dataclass
+@dataclass(slots=True)
 class TrafficSample:
     """One sample of cumulative traffic at a given event index."""
 
@@ -93,6 +93,10 @@ class CacheOccupancySeries:
         """Record a sample if the event index falls on the sampling grid."""
         if event_index % self.sample_every != 0:
             return
+        self.sample(event_index, used, capacity, count)
+
+    def sample(self, event_index: int, used: float, capacity: float, count: int) -> None:
+        """Record a sample unconditionally (callers that gate the grid themselves)."""
         self.event_indices.append(event_index)
         if capacity in (0.0, float("inf")):
             self.occupancy.append(0.0)

@@ -34,7 +34,7 @@ from repro.topology.results import TopologyResult
 from repro.topology.site import Site, build_sites
 from repro.topology.spec import TopologySpec
 from repro.workload.partition import TracePartitioner
-from repro.workload.trace import QueryEvent, Trace, UpdateEvent
+from repro.workload.trace import Trace
 
 
 class _CombinedLink:
@@ -112,43 +112,48 @@ class MultiCacheEngine:
         shipped = [0] * len(sites)
         total_events = len(trace)
 
-        for index, event in enumerate(trace):
-            if index == config.measure_from:
+        measure_from = config.measure_from
+        sample_every = config.sample_every
+        site_of_query = self._partitioner.site_of_query
+        ingest_update = self._repository.ingest_update
+        site_policies = [site.policy for site in sites]
+        next_sample = sample_every
+        index = 0
+        for is_update, payload in trace.tagged_events():
+            if index == measure_from:
                 for position, site in enumerate(sites):
                     site_warmup[position] = site.link.total_cost
-            if isinstance(event, UpdateEvent):
-                self._repository.ingest_update(event.update)
-                for site in sites:
-                    site.policy.on_update(event.update)
-            elif isinstance(event, QueryEvent):
-                position = self._partitioner.site_of_query(event.query)
-                outcome = sites[position].policy.on_query(event.query)
+            if is_update:
+                ingest_update(payload)
+                for policy in site_policies:
+                    policy.on_update(payload)
+            else:
+                position = site_of_query(payload)
+                outcome = site_policies[position].on_query(payload)
                 if outcome.answered_at_cache:
                     answered[position] += 1
                 else:
                     shipped[position] += 1
-            else:  # pragma: no cover - the trace type system prevents this
-                raise TypeError(f"unknown event type {type(event)!r}")
+            index += 1
 
             # All series share the engine's grid, so the whole sampling block
             # is gated once here (the store reads are wasted work otherwise).
-            if (index + 1) % config.sample_every == 0:
-                aggregate_series.sample(index + 1)
+            if index == next_sample:
+                next_sample += sample_every
+                aggregate_series.sample(index)
                 used = capacity = 0.0
                 resident = 0
                 for position, site in enumerate(sites):
-                    site_series[position].sample(index + 1)
+                    site_series[position].sample(index)
                     occupancy = site_occupancy[position]
                     if occupancy is not None:
                         store = site.policy.store
-                        occupancy.maybe_sample(
-                            index + 1, store.used, store.capacity, len(store)
-                        )
+                        occupancy.sample(index, store.used, store.capacity, len(store))
                         used += store.used
                         capacity += store.capacity
                         resident += len(store)
                 if aggregate_occupancy is not None:
-                    aggregate_occupancy.maybe_sample(index + 1, used, capacity, resident)
+                    aggregate_occupancy.sample(index, used, capacity, resident)
 
         for site in sites:
             site.policy.finalize()

@@ -11,7 +11,7 @@ text tables for reports and benchmark output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.sim.metrics import CacheOccupancySeries, TrafficTimeSeries
 

@@ -10,7 +10,7 @@ runner's worker pool exactly like single-cache grids.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.sim.runner import PolicySpec

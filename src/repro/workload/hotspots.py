@@ -110,6 +110,10 @@ class HotspotModel:
         self._phases: List[HotspotPhase] = []
         self._access_index = 0
         self._current_focus: List[int] = []
+        #: Memoised Zipf weight vectors per focus size (pure function of the
+        #: exponent and the count; recomputing one per access dominated trace
+        #: generation).
+        self._zipf_cache: Dict[int, np.ndarray] = {}
         #: Start index (into the eligible list) of the current contiguous block.
         self._block_start = int(self._rng.integers(0, len(self._eligible)))
         self._start_new_phase()
@@ -172,9 +176,15 @@ class HotspotModel:
     # Sampling
     # ------------------------------------------------------------------
     def _zipf_weights(self, count: int) -> np.ndarray:
+        cached = self._zipf_cache.get(count)
+        if cached is not None:
+            return cached
         ranks = np.arange(1, count + 1, dtype=float)
         weights = 1.0 / np.power(ranks, self._zipf_exponent)
-        return weights / weights.sum()
+        weights /= weights.sum()
+        weights.setflags(write=False)
+        self._zipf_cache[count] = weights
+        return weights
 
     def next_object(self) -> int:
         """Draw the object id targeted by the next access."""

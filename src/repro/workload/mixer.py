@@ -18,8 +18,7 @@ generators' hotspot/scan evolution assumes.
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import List, Literal, Optional, Sequence
+from typing import List, Literal, Sequence
 
 import numpy as np
 

@@ -133,13 +133,27 @@ DEFAULT_TEMPLATES: Tuple[TemplateShape, ...] = (
 )
 
 
+#: Memoised normalised weight vectors keyed by the raw weight tuple.  The
+#: normalisation is a pure function of the weights, yet it used to run once
+#: per generated query; the cache makes repeat calls O(1) without changing
+#: the returned values (callers must not mutate the cached array).
+_NORMALIZED_WEIGHTS_CACHE: Dict[Tuple[float, ...], np.ndarray] = {}
+
+
 def normalized_weights(templates: Sequence[TemplateShape]) -> np.ndarray:
     """Template weights normalised to sum to 1."""
-    weights = np.array([template.weight for template in templates], dtype=float)
+    raw = tuple(template.weight for template in templates)
+    cached = _NORMALIZED_WEIGHTS_CACHE.get(raw)
+    if cached is not None:
+        return cached
+    weights = np.array(raw, dtype=float)
     total = weights.sum()
     if total <= 0:
         raise ValueError("template weights must sum to a positive value")
-    return weights / total
+    weights /= total
+    weights.setflags(write=False)
+    _NORMALIZED_WEIGHTS_CACHE[raw] = weights
+    return weights
 
 
 def choose_template(

@@ -16,14 +16,15 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from repro._compat import SlottedFrozenPickle
 from repro.repository.queries import Query
 from repro.repository.updates import Update
 
 
-@dataclass(frozen=True)
-class QueryEvent:
+@dataclass(frozen=True, slots=True)
+class QueryEvent(SlottedFrozenPickle):
     """A query arriving at the middleware cache."""
 
     query: Query
@@ -39,8 +40,8 @@ class QueryEvent:
         return "query"
 
 
-@dataclass(frozen=True)
-class UpdateEvent:
+@dataclass(frozen=True, slots=True)
+class UpdateEvent(SlottedFrozenPickle):
     """An update arriving at the repository."""
 
     update: Update
@@ -70,6 +71,19 @@ class Trace:
                     "trace events must be ordered by timestamp; "
                     f"{later.timestamp!r} follows {earlier.timestamp!r}"
                 )
+        #: Lazily built (kind, payload) view used by the replay hot loop.
+        self._tagged: Optional[List[Tuple[bool, Union[Query, Update]]]] = None
+
+    # ------------------------------------------------------------------
+    # Pickling (sweeps ship traces to worker processes)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle only the events; the tagged view is rebuilt on demand."""
+        return {"_events": self._events}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self._events = state["_events"]
+        self._tagged = None
 
     # ------------------------------------------------------------------
     # Sequence behaviour
@@ -89,6 +103,26 @@ class Trace:
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
+    def tagged_events(self) -> List[Tuple[bool, Union[Query, Update]]]:
+        """``(is_update, payload)`` pairs in event order, built once.
+
+        The simulation engines dispatch on the boolean tag instead of calling
+        ``isinstance`` twice per event per policy run; the list is cached on
+        the trace because every policy in a comparison replays the same one.
+        """
+        tagged = self._tagged
+        if tagged is None:
+            tagged = []
+            for event in self._events:
+                if isinstance(event, UpdateEvent):
+                    tagged.append((True, event.update))
+                elif isinstance(event, QueryEvent):
+                    tagged.append((False, event.query))
+                else:
+                    raise TypeError(f"unknown event type {type(event)!r}")
+            self._tagged = tagged
+        return tagged
+
     def queries(self) -> List[Query]:
         """All queries in order."""
         return [event.query for event in self._events if isinstance(event, QueryEvent)]

@@ -1,0 +1,35 @@
+"""(Re)record the determinism fixtures under ``tests/fixtures/determinism/``.
+
+Usage::
+
+    PYTHONPATH=src python tests/generate_determinism_fixtures.py
+
+The fixtures pin the exact ``RunResult`` payloads (canonical JSON) the
+simulation produces for the scenarios in :mod:`determinism_cases`.  They are
+the contract the hot-path optimisations are tested against: regenerate them
+only when a change is *supposed* to alter simulation results, and say so in
+the commit message.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from determinism_cases import CASES, FIXTURE_DIR, canonical  # noqa: E402
+
+
+def main() -> int:
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    for name, capture in CASES.items():
+        path = FIXTURE_DIR / f"{name}.json"
+        payload = capture(jobs=1)
+        path.write_text(canonical(payload) + "\n", encoding="utf-8")
+        print(f"wrote {path} ({path.stat().st_size} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

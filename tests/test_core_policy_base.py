@@ -6,8 +6,6 @@ import pytest
 
 from repro.core.decoupling import DecouplingDecision, QueryAction, QueryOutcome
 from repro.core.policy import BaseCachePolicy
-from repro.network.link import NetworkLink
-from repro.repository.server import Repository
 from tests.conftest import make_query, make_update
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.flow.graph import EPSILON, FlowNetwork
+from repro.flow.graph import FlowNetwork
 
 
 class TestConstruction:

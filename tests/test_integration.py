@@ -21,7 +21,7 @@ from repro.core.vcover import VCoverConfig, VCoverPolicy
 from repro.experiments.config import ExperimentConfig, build_scenario
 from repro.network.link import NetworkLink
 from repro.repository.server import Repository
-from repro.sim.engine import EngineConfig, SimulationEngine
+from repro.sim.engine import EngineConfig
 from repro.sim.runner import compare_policies, default_policy_specs
 from repro.workload.trace import QueryEvent, UpdateEvent
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.repository.server import Repository
 from tests.conftest import make_query, make_update
 
 

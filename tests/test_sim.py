@@ -11,13 +11,7 @@ from repro.repository.objects import ObjectCatalog
 from repro.repository.server import Repository
 from repro.sim.engine import EngineConfig, SimulationEngine
 from repro.sim.metrics import CacheOccupancySeries, TrafficTimeSeries
-from repro.sim.results import ComparisonResult, RunResult
-from repro.sim.runner import (
-    PolicySpec,
-    compare_policies,
-    default_policy_specs,
-    run_policy,
-)
+from repro.sim.runner import compare_policies, default_policy_specs, run_policy
 from repro.workload.trace import QueryEvent, Trace, UpdateEvent
 from tests.conftest import make_query, make_update
 
@@ -109,6 +103,56 @@ class TestEngine:
         calls = []
         engine.run(policy, build_trace(30), link, progress=lambda done, total: calls.append(done))
         assert calls == [10, 20, 30]
+
+    def test_progress_reports_completion_of_short_traces(self, catalog):
+        # Regression: traces shorter than sample_every never hit a sampling
+        # boundary, so the progress callback was never invoked and callers
+        # never saw the run finish.
+        repository = Repository(catalog)
+        link = NetworkLink()
+        policy = NoCachePolicy(repository, 0.0, link)
+        engine = SimulationEngine(repository, EngineConfig(sample_every=1000))
+        calls = []
+        engine.run(
+            policy, build_trace(7), link, progress=lambda done, total: calls.append((done, total))
+        )
+        assert calls == [(7, 7)]
+
+    def test_progress_final_report_not_duplicated(self, catalog):
+        # A trace ending exactly on a sampling boundary already reports
+        # (total, total) from inside the loop; the completion guarantee must
+        # not fire a second time.
+        repository = Repository(catalog)
+        link = NetworkLink()
+        policy = NoCachePolicy(repository, 0.0, link)
+        engine = SimulationEngine(repository, EngineConfig(sample_every=10))
+        calls = []
+        engine.run(
+            policy, build_trace(20), link, progress=lambda done, total: calls.append((done, total))
+        )
+        assert calls == [(10, 20), (20, 20)]
+
+    def test_progress_fires_between_boundaries_and_at_end(self, catalog):
+        repository = Repository(catalog)
+        link = NetworkLink()
+        policy = NoCachePolicy(repository, 0.0, link)
+        engine = SimulationEngine(repository, EngineConfig(sample_every=10))
+        calls = []
+        engine.run(
+            policy, build_trace(25), link, progress=lambda done, total: calls.append((done, total))
+        )
+        assert calls == [(10, 25), (20, 25), (25, 25)]
+
+    def test_progress_on_empty_trace(self, catalog):
+        repository = Repository(catalog)
+        link = NetworkLink()
+        policy = NoCachePolicy(repository, 0.0, link)
+        engine = SimulationEngine(repository, EngineConfig(sample_every=10))
+        calls = []
+        engine.run(
+            policy, Trace([]), link, progress=lambda done, total: calls.append((done, total))
+        )
+        assert calls == [(0, 0)]
 
     def test_vcover_run_produces_policy_stats(self, catalog):
         repository = Repository(catalog)

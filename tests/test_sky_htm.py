@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.sky.htm import HTMMesh, Trixel
+from repro.sky.htm import HTMMesh
 from repro.sky.regions import CircularRegion, SkyPoint, random_sky_point
 
 

@@ -25,7 +25,6 @@ from repro.sky.partition import contiguous_sky_slices
 from repro.topology import SiteSpec, TopologySpec, build_sites
 from repro.repository.server import Repository
 from repro.workload.partition import TracePartitioner
-from repro.workload.trace import QueryEvent, UpdateEvent
 from tests.conftest import make_query
 
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.workload.hotspots import HotspotModel, HotspotPhase
@@ -86,7 +85,6 @@ class TestFocusBehaviour:
 
     def test_full_drift_changes_focus(self, rng):
         model = make_model(rng, drift=1.0, phase_length=50)
-        first = set(model.current_focus)
         model.next_objects(60)
         # With drift 1.0 the new block is redrawn; it may coincidentally
         # overlap but must not be forced to equal the old one.
