@@ -58,7 +58,7 @@ from repro.core import (
 )
 from repro.repository import DataObject, ObjectCatalog, Query, Repository, Update
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BenefitConfig",

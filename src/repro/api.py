@@ -133,6 +133,7 @@ def run_scenario(
     jobs: int = 1,
     cache_fraction: Optional[float] = None,
     cache_capacity: Optional[float] = None,
+    streaming: bool = False,
 ) -> ComparisonResult:
     """Run a declarative scenario against several policies.
 
@@ -150,27 +151,47 @@ def run_scenario(
     cache_fraction / cache_capacity:
         Cache size override; defaults to the scenario config's
         ``cache_fraction`` (the absolute capacity wins if both are given).
+    streaming:
+        When ``True``, replay the scenario through its lazily-generated
+        :class:`~repro.workload.trace.TraceStream` instead of materialising
+        the trace first.  Results are byte-identical either way (the
+        equivalence tests pin this); streaming keeps memory constant in the
+        trace length, at the price of regenerating events on each pass.
     """
     if isinstance(scenario, (str, Path)):
         scenario = load_scenario(scenario)
     if isinstance(scenario, ExperimentConfig):
         scenario = ScenarioSpec(scenario)
     config = scenario.config
-    built = scenario.build()
     specs = default_policy_specs(
         benefit_config=BenefitConfig(window_size=config.benefit_window),
         include=tuple(policies) if policies else DEFAULT_POLICIES,
     )
+    engine = EngineConfig(
+        sample_every=config.sample_every, measure_from=config.measure_from
+    )
+    fraction = config.cache_fraction if cache_fraction is None else cache_fraction
+    if streaming:
+        # Hand workers the recipe; each realises the stream lazily and
+        # replays it without materialising the event list.
+        return compare_policies(
+            None,
+            None,
+            cache_fraction=fraction,
+            cache_capacity=cache_capacity,
+            specs=specs,
+            engine_config=engine,
+            jobs=jobs,
+            source=scenario,
+            streaming=True,
+        )
+    built = scenario.build()
     return compare_policies(
         built.catalog,
         built.trace,
-        cache_fraction=(
-            config.cache_fraction if cache_fraction is None else cache_fraction
-        ),
+        cache_fraction=fraction,
         cache_capacity=cache_capacity,
         specs=specs,
-        engine_config=EngineConfig(
-            sample_every=config.sample_every, measure_from=config.measure_from
-        ),
+        engine_config=engine,
         jobs=jobs,
     )

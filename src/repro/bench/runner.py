@@ -31,7 +31,7 @@ from repro import __version__
 from repro.bench.schema import SCHEMA_ID, validate_payload
 from repro.bench.suites import BenchCase, get_suite
 from repro.core.benefit import BenefitConfig
-from repro.experiments.config import build_scenario
+from repro.experiments.config import build_scenario, build_scenario_stream
 from repro.sim.engine import EngineConfig
 from repro.sim.multicache import run_topology
 from repro.sim.runner import default_policy_specs, run_policy
@@ -75,12 +75,21 @@ def _run_case(case: BenchCase) -> Dict[str, object]:
     """Time one case; runs inside a worker process when ``jobs > 1``."""
     config = case.config()
     build_start = time.perf_counter()
-    scenario = build_scenario(config)
+    if case.streaming:
+        # Streaming cases never materialise the trace: the "build" is only
+        # the (cheap) source construction; event generation happens inside
+        # the timed replay, which is exactly what the streaming pipeline's
+        # events/sec should measure.
+        catalog, trace = build_scenario_stream(config)
+    else:
+        scenario = build_scenario(config)
+        catalog, trace = scenario.catalog, scenario.trace
     build_seconds = time.perf_counter() - build_start
-    # The replay loop dispatches off the tagged view; build it outside the
-    # timed region so every policy (and the baseline it is compared to)
-    # measures the same thing.
-    scenario.trace.tagged_events()
+    if not case.streaming:
+        # The replay loop dispatches off the tagged view; build it outside
+        # the timed region so every policy (and the baseline it is compared
+        # to) measures the same thing.
+        trace.tagged_events()
 
     engine = EngineConfig(
         sample_every=config.sample_every, measure_from=config.measure_from
@@ -88,13 +97,13 @@ def _run_case(case: BenchCase) -> Dict[str, object]:
     fraction = (
         config.cache_fraction if case.cache_fraction is None else case.cache_fraction
     )
-    capacity = scenario.catalog.total_size * fraction
+    capacity = catalog.total_size * fraction
     specs = default_policy_specs(
         benefit_config=BenefitConfig(window_size=config.benefit_window),
         include=case.policies,
     )
 
-    events = len(scenario.trace)
+    events = len(trace)
     policy_rows: List[Dict[str, object]] = []
     for spec in specs:
         best: Optional[float] = None
@@ -103,9 +112,9 @@ def _run_case(case: BenchCase) -> Dict[str, object]:
             start = time.perf_counter()
             if case.sites > 1:
                 topology = TopologySpec.uniform(spec, case.sites, cache_fraction=fraction)
-                run = run_topology(topology, scenario.catalog, scenario.trace, engine).aggregate
+                run = run_topology(topology, catalog, trace, engine).aggregate
             else:
-                run = run_policy(spec, scenario.catalog, scenario.trace, capacity, engine)
+                run = run_policy(spec, catalog, trace, capacity, engine)
             elapsed = time.perf_counter() - start
             if best is None or elapsed < best:
                 best = elapsed
@@ -128,6 +137,7 @@ def _run_case(case: BenchCase) -> Dict[str, object]:
         "events": events,
         "sites": case.sites,
         "repeats": max(1, case.repeats),
+        "streaming": case.streaming,
         "build_wall_clock_s": build_seconds,
         "wall_clock_s": total_wall,
         "events_per_s": (events * len(policy_rows)) / total_wall if total_wall > 0 else 0.0,

@@ -7,13 +7,18 @@ Cases reuse the declarative scenario machinery
 (:class:`~repro.experiments.spec.ScenarioSpec`), so a benchmark measures
 exactly what the experiments run, never a parallel hand-rolled setup.
 
-Two suites ship by default:
+Three suites ship by default:
 
 * ``quick`` -- small enough for every CI run (tens of seconds on a shared
   runner), covering the single-cache engine across all five policies, a
   VCover-heavy decision workload, and the multi-cache engine;
 * ``full`` -- the paper-scale defaults, for tracking real machines over
-  time.
+  time;
+* ``stress`` -- the constant-memory guard: flash-crowd workloads replayed
+  through the streaming trace pipeline at 500k and 5M events.  The trace is
+  never materialised, so the 5M-event case must finish with a peak RSS
+  below twice the 500k-event case's (the slow-marked peak-RSS test and
+  ``docs/workloads.md`` document the bound).
 """
 
 from __future__ import annotations
@@ -50,6 +55,12 @@ class BenchCase:
     repeats:
         How many times each policy run is repeated; the *best* wall-clock is
         recorded (standard practice to suppress scheduler noise).
+    streaming:
+        When ``True`` the case replays the scenario's lazily-generated
+        :class:`~repro.workload.trace.TraceStream` instead of materialising
+        the trace first; generation is then part of the timed replay (an
+        honest events/sec for the streaming pipeline) and memory stays
+        constant in the trace length.
     """
 
     name: str
@@ -59,6 +70,7 @@ class BenchCase:
     cache_fraction: Optional[float] = None
     sites: int = 1
     repeats: int = 1
+    streaming: bool = False
 
     def config(self) -> ExperimentConfig:
         """The scenario config the case replays."""
@@ -121,6 +133,35 @@ SUITES: Dict[str, Tuple[BenchCase, ...]] = {
             "four-site vcover fleet over the 12k-event default trace",
             policies=("vcover",),
             sites=4,
+        ),
+    ),
+    "stress": (
+        # The 500k-event case runs first so its per-case peak RSS (a
+        # process-wide high-water mark) is not inflated by the 5M-event run;
+        # the constant-memory claim is "5M peak < 2x 500k peak".
+        _case(
+            "flash-crowd-500k",
+            "streaming flash-crowd replay, 500k events (RSS baseline)",
+            overrides={
+                "workload_model": "flash_crowd",
+                "query_count": 250_000,
+                "update_count": 250_000,
+                "sample_every": 5_000,
+            },
+            policies=("nocache", "replica"),
+            streaming=True,
+        ),
+        _case(
+            "flash-crowd-5m",
+            "streaming flash-crowd replay, 5M events in bounded RSS",
+            overrides={
+                "workload_model": "flash_crowd",
+                "query_count": 2_500_000,
+                "update_count": 2_500_000,
+                "sample_every": 50_000,
+            },
+            policies=("nocache", "replica"),
+            streaming=True,
         ),
     ),
 }

@@ -219,7 +219,9 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
     try:
         spec = api.load_scenario(args.file)
         policies = _unique(args.policies) if args.policies else None
-        comparison = api.run_scenario(spec, policies=policies, jobs=args.jobs)
+        comparison = api.run_scenario(
+            spec, policies=policies, jobs=args.jobs, streaming=args.streaming
+        )
     except (ScenarioError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -502,6 +504,9 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_run.add_argument("--policies", nargs="*", choices=POLICY_CHOICES,
                               default=None,
                               help="subset of policies to run (default: all five)")
+    scenario_run.add_argument("--streaming", action="store_true",
+                              help="replay through the streaming trace pipeline "
+                                   "(constant memory, byte-identical results)")
     scenario_run.add_argument("--jobs", type=_positive_jobs, default=1,
                               help="worker processes for the per-policy runs "
                                    "(default: 1)")
@@ -567,7 +572,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = subparsers.add_parser(
         "bench", help="run timed benchmark suites and compare against baselines"
     )
-    bench.add_argument("--suite", choices=("quick", "full"), default="quick",
+    bench.add_argument("--suite", choices=("quick", "full", "stress"), default="quick",
                        help="suite to run (default: quick)")
     bench.add_argument("--jobs", type=_positive_jobs, default=1,
                        help="worker processes, one case per worker; parallel "

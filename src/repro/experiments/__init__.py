@@ -25,9 +25,15 @@ from repro.experiments import (
     fig8b,
     headline,
     multisite,
+    scenarios,
     warmup,
 )
-from repro.experiments.config import ExperimentConfig, Scenario, build_scenario
+from repro.experiments.config import (
+    ExperimentConfig,
+    Scenario,
+    build_scenario,
+    build_scenario_stream,
+)
 from repro.experiments.registry import (
     ExperimentContext,
     ExperimentGrid,
@@ -45,6 +51,7 @@ __all__ = [
     "ScenarioError",
     "ScenarioSpec",
     "build_scenario",
+    "build_scenario_stream",
     "load_scenario",
     "register_experiment",
     "registry",
@@ -56,5 +63,6 @@ __all__ = [
     "fig8b",
     "headline",
     "multisite",
+    "scenarios",
     "warmup",
 ]

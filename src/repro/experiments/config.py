@@ -18,14 +18,24 @@ ratios the paper reports.  Benchmarks scale the event counts up.
 from __future__ import annotations
 
 from dataclasses import astuple, dataclass, replace
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.repository.catalog import DEFAULT_SCALE, PAPER_SERVER_SIZE_MB, sdss_catalog
 from repro.repository.objects import ObjectCatalog
 from repro.workload.mixer import interleave
+from repro.workload.scenarios import (
+    DiurnalStream,
+    FlashCrowdStream,
+    ScenarioModelStream,
+    UpdateStormStream,
+)
 from repro.workload.sdss import SDSSQueryGenerator, SDSSWorkloadConfig
-from repro.workload.trace import Trace
+from repro.workload.stream import EvolvingTraceStream
+from repro.workload.trace import Trace, TraceStream
 from repro.workload.updates import SurveyUpdateGenerator, UpdateWorkloadConfig
+
+#: The workload models build_scenario/build_scenario_stream can produce.
+WORKLOAD_MODELS = ("evolving", "flash_crowd", "diurnal", "update_storm")
 
 
 @dataclass
@@ -89,6 +99,25 @@ class ExperimentConfig:
     scan_probability: float = 0.7
     update_region_fraction: float = 0.35
 
+    # Scenario-diversity workload model (see repro.workload.scenarios and
+    # docs/workloads.md).  "evolving" is the paper's default workload; the
+    # other models reuse the knobs below and ignore the hotspot/scan shape
+    # knobs above.
+    workload_model: str = "evolving"
+    # Flash-crowd model: sudden hotspot migration.
+    flash_crowd_count: int = 3
+    flash_crowd_arrival: float = 0.3
+    flash_crowd_duration: float = 0.12
+    flash_crowd_intensity: float = 0.95
+    # Diurnal model: day/night load cycles.
+    diurnal_cycles: int = 4
+    diurnal_amplitude: float = 0.7
+    # Update-storm model: correlated update bursts.
+    storm_count: int = 6
+    storm_length: int = 300
+    storm_width: int = 4
+    storm_cost_factor: float = 3.0
+
     def __post_init__(self) -> None:
         if self.object_count <= 0:
             raise ValueError("object_count must be positive")
@@ -96,6 +125,11 @@ class ExperimentConfig:
             raise ValueError("cache_fraction must be positive")
         if not 0.0 <= self.warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must lie in [0, 1)")
+        if self.workload_model not in WORKLOAD_MODELS:
+            raise ValueError(
+                f"unknown workload_model {self.workload_model!r}; "
+                f"known models: {', '.join(WORKLOAD_MODELS)}"
+            )
 
     @property
     def server_size(self) -> float:
@@ -167,18 +201,11 @@ def build_catalog(config: ExperimentConfig) -> ObjectCatalog:
     )
 
 
-def build_scenario(config: Optional[ExperimentConfig] = None) -> Scenario:
-    """Build catalogue plus interleaved trace for an experiment config.
-
-    The update generator is built first so its observed region (the update
-    hotspots) can be excluded from the query generator's hotspot focus sets,
-    keeping the two streams' hotspots distinct as in Figure 7(a).
-    """
-    config = config or ExperimentConfig()
-    catalog = build_catalog(config)
-    server_size = catalog.total_size
-
-    update_config = UpdateWorkloadConfig(
+def _update_workload_config(
+    config: ExperimentConfig, server_size: float
+) -> UpdateWorkloadConfig:
+    """The survey update generator's configuration for an experiment config."""
+    return UpdateWorkloadConfig(
         update_count=config.update_count,
         target_total_cost=server_size * config.update_traffic_fraction,
         scan_length=config.scan_length,
@@ -187,10 +214,13 @@ def build_scenario(config: Optional[ExperimentConfig] = None) -> Scenario:
         region_fraction=config.update_region_fraction,
         seed=config.seed + 1,
     )
-    update_generator = SurveyUpdateGenerator(catalog, update_config)
-    update_region = update_generator.observed_region
 
-    query_config = SDSSWorkloadConfig(
+
+def _query_workload_config(
+    config: ExperimentConfig, server_size: float, update_region: List[int]
+) -> SDSSWorkloadConfig:
+    """The SDSS query generator's configuration for an experiment config."""
+    return SDSSWorkloadConfig(
         query_count=config.query_count,
         target_total_cost=server_size * config.query_traffic_fraction,
         phase_length=config.hotspot_phase_length,
@@ -208,6 +238,96 @@ def build_scenario(config: Optional[ExperimentConfig] = None) -> Scenario:
         excluded_hotspots=tuple(update_region),
         seed=config.seed + 2,
     )
+
+
+def build_model_stream(
+    catalog: ObjectCatalog, config: ExperimentConfig
+) -> ScenarioModelStream:
+    """The scenario-diversity model stream an experiment config names.
+
+    Per-event mean costs are derived from the config's traffic fractions so
+    that the expected query/update byte totals match what the evolving
+    workload is calibrated to -- directly, with no whole-trace rescaling
+    pass, which is what keeps these models single-pass and constant-memory.
+    """
+    server_size = catalog.total_size
+    mean_query_cost = (
+        server_size * config.query_traffic_fraction / config.query_count
+        if config.query_count
+        else 0.0
+    )
+    mean_update_cost = (
+        server_size * config.update_traffic_fraction / config.update_count
+        if config.update_count
+        else 0.0
+    )
+    common = dict(
+        catalog=catalog,
+        query_count=config.query_count,
+        update_count=config.update_count,
+        mean_query_cost=mean_query_cost,
+        mean_update_cost=mean_update_cost,
+        tolerant_fraction=config.tolerant_fraction,
+        tolerance_window=config.tolerance_window,
+        seed=config.seed,
+    )
+    if config.workload_model == "flash_crowd":
+        return FlashCrowdStream(
+            crowd_count=config.flash_crowd_count,
+            crowd_arrival=config.flash_crowd_arrival,
+            crowd_duration=config.flash_crowd_duration,
+            crowd_intensity=config.flash_crowd_intensity,
+            update_region_fraction=config.update_region_fraction,
+            **common,
+        )
+    if config.workload_model == "diurnal":
+        return DiurnalStream(
+            cycles=config.diurnal_cycles,
+            amplitude=config.diurnal_amplitude,
+            **common,
+        )
+    if config.workload_model == "update_storm":
+        return UpdateStormStream(
+            storm_count=config.storm_count,
+            storm_length=config.storm_length,
+            storm_width=config.storm_width,
+            storm_cost_factor=config.storm_cost_factor,
+            **common,
+        )
+    raise ValueError(
+        f"workload_model {config.workload_model!r} has no scenario model stream"
+    )
+
+
+def build_scenario(config: Optional[ExperimentConfig] = None) -> Scenario:
+    """Build catalogue plus interleaved trace for an experiment config.
+
+    For the default ``evolving`` model the update generator is built first so
+    its observed region (the update hotspots) can be excluded from the query
+    generator's hotspot focus sets, keeping the two streams' hotspots
+    distinct as in Figure 7(a).  The scenario-diversity models
+    (``flash_crowd``/``diurnal``/``update_storm``) are generated through
+    their streaming sources and materialised, so the two replay paths can
+    never drift apart.
+    """
+    config = config or ExperimentConfig()
+    catalog = build_catalog(config)
+    server_size = catalog.total_size
+
+    if config.workload_model != "evolving":
+        stream = build_model_stream(catalog, config)
+        return Scenario(
+            config=config,
+            catalog=catalog,
+            trace=stream.materialise(),
+            update_region=stream.update_region(),
+        )
+
+    update_config = _update_workload_config(config, server_size)
+    update_generator = SurveyUpdateGenerator(catalog, update_config)
+    update_region = update_generator.observed_region
+
+    query_config = _query_workload_config(config, server_size, update_region)
     query_generator = SDSSQueryGenerator(catalog, query_config)
 
     trace = interleave(
@@ -218,3 +338,24 @@ def build_scenario(config: Optional[ExperimentConfig] = None) -> Scenario:
     return Scenario(
         config=config, catalog=catalog, trace=trace, update_region=list(update_region)
     )
+
+
+def build_scenario_stream(
+    config: Optional[ExperimentConfig] = None,
+) -> Tuple[ObjectCatalog, TraceStream]:
+    """The streaming twin of :func:`build_scenario`: catalogue + lazy source.
+
+    The returned stream produces the byte-identical event sequence
+    :func:`build_scenario` would materialise (the determinism harness and
+    the streaming-vs-materialised equivalence tests pin this), but generates
+    it on demand, so the engines can replay it without holding the events.
+    """
+    config = config or ExperimentConfig()
+    catalog = build_catalog(config)
+    if config.workload_model != "evolving":
+        return catalog, build_model_stream(catalog, config)
+    server_size = catalog.total_size
+    update_config = _update_workload_config(config, server_size)
+    update_region = SurveyUpdateGenerator(catalog, update_config).observed_region
+    query_config = _query_workload_config(config, server_size, update_region)
+    return catalog, EvolvingTraceStream(catalog, query_config, update_config)

@@ -26,10 +26,15 @@ from dataclasses import asdict, astuple, dataclass, fields, replace
 from pathlib import Path
 from typing import Dict, Mapping, Tuple, Union
 
-from repro.experiments.config import ExperimentConfig, Scenario, build_scenario
+from repro.experiments.config import (
+    ExperimentConfig,
+    Scenario,
+    build_scenario,
+    build_scenario_stream,
+)
 from repro.repository.objects import ObjectCatalog
 from repro.sim.sweep import InlineScenario, ScenarioSource
-from repro.workload.trace import Trace
+from repro.workload.trace import Trace, TraceStream
 
 #: Name used when a spec (or scenario file) does not set one.
 DEFAULT_SCENARIO_NAME = "default"
@@ -78,6 +83,17 @@ class ScenarioSpec(ScenarioSource):
         """Build the catalogue and trace (deterministic in the config seeds)."""
         scenario = self.build()
         return scenario.catalog, scenario.trace
+
+    def realise_stream(self) -> Tuple[ObjectCatalog, TraceStream]:
+        """The catalogue plus a lazy event source for the same scenario.
+
+        The stream generates the byte-identical event sequence
+        :meth:`realise` would materialise (see
+        :func:`repro.experiments.config.build_scenario_stream`), so sweep
+        points flagged ``streaming=True`` replay it in constant memory with
+        identical results.
+        """
+        return build_scenario_stream(self.config)
 
     def cache_key(self) -> Tuple[object, ...]:
         """Hashable identity of the build recipe (all config knobs).
@@ -153,10 +169,16 @@ def config_from_mapping(knobs: Mapping[str, object]) -> ExperimentConfig:
             f"unknown scenario knob(s) {unknown}; valid knobs: {sorted(CONFIG_FIELDS)}"
         )
     for key, value in knobs.items():
-        if _CONFIG_FIELD_TYPES.get(key) == "int":
+        declared = _CONFIG_FIELD_TYPES.get(key)
+        if declared == "int":
             if isinstance(value, bool) or not isinstance(value, int):
                 raise ScenarioError(
                     f"scenario knob {key!r} must be an integer, got {value!r}"
+                )
+        elif declared == "str":
+            if not isinstance(value, str):
+                raise ScenarioError(
+                    f"scenario knob {key!r} must be a string, got {value!r}"
                 )
         elif isinstance(value, bool) or not isinstance(value, (int, float)):
             raise ScenarioError(

@@ -14,7 +14,13 @@ invoke:
 
 The repository also keeps an *update log* per object so that the cache (and
 the decision algorithms) can reason about which updates a given cached
-version is missing.
+version is missing.  The log grows with every ingested update and nothing in
+the simulation hot path reads it (policies track their own outstanding
+updates), so the simulation runners construct their repositories with
+``keep_update_log=False``: version counters, sizes and growth bookkeeping
+are identical, only the per-object update history is dropped -- which is
+what keeps a streaming replay of a multi-million-event trace in constant
+memory.
 """
 
 from __future__ import annotations
@@ -38,15 +44,20 @@ class ObjectState:
     rows: int = 0
     #: Cumulative bytes (MB) added by updates since the initial snapshot.
     grown_by: float = 0.0
-    #: Full update log in arrival order.
+    #: Full update log in arrival order (empty when history is disabled).
     update_log: List[Update] = field(default_factory=list)
 
-    def apply(self, update: Update) -> None:
-        """Apply one update to this object's state."""
+    def apply(self, update: Update, keep_log: bool = True) -> None:
+        """Apply one update to this object's state.
+
+        ``keep_log=False`` performs the same version/size bookkeeping but
+        drops the update itself, bounding memory for history-free replays.
+        """
         self.version += 1
         self.rows += update.rows
         self.grown_by += update.cost
-        self.update_log.append(update)
+        if keep_log:
+            self.update_log.append(update)
 
 
 @dataclass(frozen=True)
@@ -67,10 +78,18 @@ class Repository:
     ----------
     catalog:
         The object catalogue defining identifiers and base sizes.
+    keep_update_log:
+        Whether to retain every ingested update in the per-object logs.
+        ``True`` (the default) preserves the full history API
+        (:meth:`update_log`, :meth:`updates_since`, :meth:`ship_updates`);
+        ``False`` keeps only version counters and growth bookkeeping, so
+        memory stays constant no matter how many updates are ingested (the
+        simulation runners use this -- no policy reads the server-side log).
     """
 
-    def __init__(self, catalog: ObjectCatalog) -> None:
+    def __init__(self, catalog: ObjectCatalog, keep_update_log: bool = True) -> None:
         self._catalog = catalog
+        self._keep_update_log = keep_update_log
         self._states: Dict[int, ObjectState] = {
             obj.object_id: ObjectState(object_id=obj.object_id) for obj in catalog
         }
@@ -113,7 +132,7 @@ class Repository:
         Raises ``KeyError`` if the update references an unknown object.
         """
         state = self._states[update.object_id]
-        state.apply(update)
+        state.apply(update, keep_log=self._keep_update_log)
         self._updates_received += 1
 
     def ingest_updates(self, updates: Iterable[Update]) -> None:
@@ -123,7 +142,20 @@ class Repository:
 
     def update_log(self, object_id: int) -> Sequence[Update]:
         """Full update log of one object, oldest first."""
+        self._require_update_log()
         return tuple(self._states[object_id].update_log)
+
+    @property
+    def keeps_update_log(self) -> bool:
+        """Whether per-object update history is being retained."""
+        return self._keep_update_log
+
+    def _require_update_log(self) -> None:
+        if not self._keep_update_log:
+            raise RuntimeError(
+                "this repository was built with keep_update_log=False; "
+                "per-object update history is not retained"
+            )
 
     def updates_since(self, object_id: int, version: int) -> List[Update]:
         """Updates applied to ``object_id`` after the given version.
@@ -131,6 +163,7 @@ class Repository:
         A cache holding a snapshot at ``version`` needs exactly these updates
         shipped to become current.
         """
+        self._require_update_log()
         log = self._states[object_id].update_log
         if version < 0:
             raise ValueError(f"version must be non-negative, got {version}")

@@ -13,6 +13,13 @@ The engine also supports a *measurement window*: the paper excludes the
 ~250k-event warm-up period from its plots, so the engine records the traffic
 accumulated before a configurable ``measure_from`` event index and reports it
 separately.
+
+The engine replays any :class:`repro.workload.trace.TraceStream` -- a
+materialised :class:`~repro.workload.trace.Trace`, a zero-copy
+:class:`~repro.workload.trace.TraceView`, or a lazily-generated source --
+through one forward pass over ``iter_tagged()``.  It never materialises the
+event list itself, so replaying a generated stream runs in constant memory
+regardless of trace length.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from repro.network.link import NetworkLink
 from repro.repository.server import Repository
 from repro.sim.metrics import CacheOccupancySeries, TrafficTimeSeries
 from repro.sim.results import RunResult
-from repro.workload.trace import Trace
+from repro.workload.trace import TraceStream
 
 
 @dataclass
@@ -55,7 +62,7 @@ class SimulationEngine:
     def run(
         self,
         policy: CachePolicy,
-        trace: Trace,
+        trace: TraceStream,
         link: NetworkLink,
         progress: Optional[Callable[[int, int], None]] = None,
     ) -> RunResult:
@@ -66,7 +73,10 @@ class SimulationEngine:
         policy:
             The decision policy (its internal link must be ``link``).
         trace:
-            The event sequence to replay.
+            The event source to replay -- a materialised
+            :class:`~repro.workload.trace.Trace` or any other
+            :class:`~repro.workload.trace.TraceStream` (replayed without
+            materialising it).
         link:
             The traffic ledger to sample (shared with the policy).
         progress:
@@ -101,7 +111,7 @@ class SimulationEngine:
         next_sample = sample_every
         index = 0
         reported_final = False
-        for is_update, payload in trace.tagged_events():
+        for is_update, payload in trace.iter_tagged():
             if index == measure_from:
                 warmup_traffic = link.total_cost
             if is_update:

@@ -34,7 +34,7 @@ from repro.topology.results import TopologyResult
 from repro.topology.site import Site, build_sites
 from repro.topology.spec import TopologySpec
 from repro.workload.partition import TracePartitioner
-from repro.workload.trace import Trace
+from repro.workload.trace import TraceStream
 
 
 class _CombinedLink:
@@ -82,8 +82,13 @@ class MultiCacheEngine:
         """The engine configuration."""
         return self._config
 
-    def run(self, trace: Trace, name: str = "topology") -> TopologyResult:
-        """Replay ``trace`` against every site; returns the fleet result."""
+    def run(self, trace: TraceStream, name: str = "topology") -> TopologyResult:
+        """Replay ``trace`` against every site; returns the fleet result.
+
+        ``trace`` may be any :class:`~repro.workload.trace.TraceStream`; the
+        replay is one forward pass over ``iter_tagged()``, so generated
+        sources are never materialised.
+        """
         config = self._config
         sites = self._sites
         combined = _CombinedLink([site.link for site in sites])
@@ -119,11 +124,13 @@ class MultiCacheEngine:
         site_policies = [site.policy for site in sites]
         next_sample = sample_every
         index = 0
-        for is_update, payload in trace.tagged_events():
+        updates_seen = 0
+        for is_update, payload in trace.iter_tagged():
             if index == measure_from:
                 for position, site in enumerate(sites):
                     site_warmup[position] = site.link.total_cost
             if is_update:
+                updates_seen += 1
                 ingest_update(payload)
                 for policy in site_policies:
                     policy.on_update(payload)
@@ -178,7 +185,7 @@ class MultiCacheEngine:
                     time_series=site_series[position],
                     queries_answered_at_cache=answered[position],
                     queries_shipped=shipped[position],
-                    events_processed=trace.update_count + answered[position] + shipped[position],
+                    events_processed=updates_seen + answered[position] + shipped[position],
                     policy_stats=stats,
                     warmup_traffic=site_warmup[position] if measure_warmup else 0.0,
                     occupancy=site_occupancy[position],
@@ -224,7 +231,7 @@ def _fold_site_stats(site_runs: Sequence[RunResult]) -> Dict[str, float]:
 def run_topology(
     spec: TopologySpec,
     catalog: ObjectCatalog,
-    trace: Trace,
+    trace: TraceStream,
     engine_config: Optional[EngineConfig] = None,
 ) -> TopologyResult:
     """Run one topology over one trace with a fresh shared repository.
@@ -232,8 +239,10 @@ def run_topology(
     The multi-site analogue of :func:`repro.sim.runner.run_policy`: builds
     the repository, the trace partitioner (region slices or affinity counts
     derived from the trace itself), and every site, then replays the trace.
+    The shared repository skips server-side update history (no policy reads
+    it), so fleet replays of generated streams stay constant-memory.
     """
-    repository = Repository(catalog)
+    repository = Repository(catalog, keep_update_log=False)
     partitioner = TracePartitioner.for_trace(
         catalog.object_ids, spec.site_count, trace, strategy=spec.strategy
     )

@@ -31,7 +31,7 @@ from repro.repository.objects import ObjectCatalog
 from repro.repository.server import Repository
 from repro.sim.engine import EngineConfig, SimulationEngine
 from repro.sim.results import ComparisonResult, RunResult
-from repro.workload.trace import Trace
+from repro.workload.trace import TraceStream
 
 #: Signature of a policy factory: (repository, capacity, link) -> policy.
 PolicyFactory = Callable[[Repository, float, NetworkLink], CachePolicy]
@@ -148,12 +148,18 @@ def default_policy_specs(
 def run_policy(
     spec: PolicySpec,
     catalog: ObjectCatalog,
-    trace: Trace,
+    trace: TraceStream,
     cache_capacity: float,
     engine_config: Optional[EngineConfig] = None,
 ) -> RunResult:
-    """Run one policy over one trace with a fresh repository and link."""
-    repository = Repository(catalog)
+    """Run one policy over one trace with a fresh repository and link.
+
+    ``trace`` may be any :class:`~repro.workload.trace.TraceStream`.  The
+    repository skips server-side update history (no policy reads it), so the
+    run's memory footprint is bounded by the cache state, not the trace
+    length.
+    """
+    repository = Repository(catalog, keep_update_log=False)
     link = NetworkLink()
     policy = spec.factory(repository, cache_capacity, link)
     engine = SimulationEngine(repository, engine_config)
@@ -161,13 +167,15 @@ def run_policy(
 
 
 def compare_policies(
-    catalog: ObjectCatalog,
-    trace: Trace,
+    catalog: Optional[ObjectCatalog],
+    trace: Optional[TraceStream],
     cache_fraction: Optional[float] = None,
     specs: Optional[Sequence[PolicySpec]] = None,
     engine_config: Optional[EngineConfig] = None,
     cache_capacity: Optional[float] = None,
     jobs: int = 1,
+    source: Optional[object] = None,
+    streaming: bool = False,
 ) -> ComparisonResult:
     """Run several policies over the same trace and collect the results.
 
@@ -175,9 +183,10 @@ def compare_policies(
     ----------
     catalog:
         Object catalogue shared by all runs (each run gets its own
-        repository built from it).
+        repository built from it).  May be ``None`` when ``source`` is
+        given (workers realise the catalogue themselves).
     trace:
-        The event sequence.
+        The event sequence.  May be ``None`` when ``source`` is given.
     cache_fraction:
         Cache capacity as a fraction of the catalogue's total size; defaults
         to :data:`repro.sim.sweep.DEFAULT_CACHE_FRACTION` (the paper's 0.3).
@@ -191,11 +200,25 @@ def compare_policies(
     jobs:
         Worker processes to fan the per-policy runs out over (1 = serial).
         Each run is isolated either way, so the results are identical.
+    source:
+        Optional :class:`~repro.sim.sweep.ScenarioSource` handed to the
+        workers instead of the prebuilt ``(catalog, trace)`` pair -- the
+        recipe crosses the process boundary and each worker realises it
+        (memoised per process).
+    streaming:
+        When ``True`` the per-policy runs replay the scenario's
+        lazily-generated :class:`~repro.workload.trace.TraceStream`
+        (realised via ``source.realise_stream()``) instead of a
+        materialised trace.  Results are byte-identical either way.
     """
     # Imported here: sweep builds on this module, so the module-level import
     # goes sweep -> runner and only this function takes the reverse edge.
     from repro.sim.sweep import DEFAULT_SCENARIO, InlineScenario, SweepPoint, SweepRunner
 
+    if source is None:
+        if catalog is None or trace is None:
+            raise ValueError("compare_policies needs either (catalog, trace) or a source")
+        source = InlineScenario(catalog, trace)
     specs = list(specs) if specs is not None else default_policy_specs()
     points = [
         SweepPoint(
@@ -205,13 +228,16 @@ def compare_policies(
             cache_fraction=cache_fraction,
             cache_capacity=cache_capacity,
             engine=engine_config or EngineConfig(),
+            streaming=streaming,
         )
         for spec in specs
     ]
-    sweep = SweepRunner(jobs=jobs).run(
-        points, scenarios={DEFAULT_SCENARIO: InlineScenario(catalog, trace)}
-    )
+    sweep = SweepRunner(jobs=jobs).run(points, scenarios={DEFAULT_SCENARIO: source})
     runs: Dict[str, RunResult] = {
         result.point.spec.name: result.run for result in sweep.points
     }
-    return ComparisonResult(runs=runs, trace_description=trace.describe())
+    if trace is not None:
+        description = trace.describe()
+    else:
+        description = sweep.points[0].trace_description if sweep.points else {}
+    return ComparisonResult(runs=runs, trace_description=description)

@@ -56,7 +56,7 @@ from repro.sim.multicache import run_topology
 from repro.sim.results import ComparisonResult, RunResult
 from repro.sim.runner import PolicySpec, run_policy
 from repro.topology.spec import TopologySpec
-from repro.workload.trace import Trace
+from repro.workload.trace import Trace, TraceStream
 
 #: Name of the scenario used when a sweep has only one.
 DEFAULT_SCENARIO = "default"
@@ -93,6 +93,16 @@ class ScenarioSource(abc.ABC):
     def realise(self) -> Tuple[ObjectCatalog, Trace]:
         """Build (or return) the scenario's catalogue and trace."""
 
+    def realise_stream(self) -> Tuple[ObjectCatalog, TraceStream]:
+        """The scenario as a (catalogue, lazy event source) pair.
+
+        Sources that can generate events incrementally override this to
+        return a constant-memory :class:`~repro.workload.trace.TraceStream`;
+        the default falls back to the materialised :meth:`realise` (a
+        :class:`Trace` satisfies the stream contract).
+        """
+        return self.realise()
+
     def cache_key(self) -> Optional[object]:
         """Hashable identity of the build recipe (``None`` = no memoisation)."""
         return None
@@ -100,10 +110,15 @@ class ScenarioSource(abc.ABC):
 
 @dataclass(frozen=True)
 class InlineScenario(ScenarioSource):
-    """A sweep scenario handed over as an already-built catalogue + trace."""
+    """A sweep scenario handed over as an already-built catalogue + trace.
+
+    ``trace`` may also be any :class:`~repro.workload.trace.TraceStream`
+    (e.g. a scenario model stream) when the caller wants streaming points
+    without a declarative recipe.
+    """
 
     catalog: ObjectCatalog
-    trace: Trace
+    trace: TraceStream
 
     def realise(self) -> Tuple[ObjectCatalog, Trace]:
         """Return the prebuilt catalogue and trace."""
@@ -150,6 +165,12 @@ class SweepPoint:
     tags:
         Grid coordinates as ``((name, value), ...)`` pairs, e.g.
         ``(("fraction", 0.3),)``; used to regroup results after the sweep.
+    streaming:
+        When ``True`` the worker realises the scenario through
+        :meth:`ScenarioSource.realise_stream` and replays the lazy source
+        directly, never materialising the event list.  Results are
+        byte-identical to the materialised replay (the equivalence tests pin
+        this); only the memory profile differs.
     """
 
     key: str
@@ -161,6 +182,7 @@ class SweepPoint:
     seed: int = 0
     tags: Tuple[Tuple[str, object], ...] = ()
     topology: Optional[TopologySpec] = None
+    streaming: bool = False
 
     def tag(self, name: str, default: object = None) -> object:
         """The value of one grid coordinate (or ``default``)."""
@@ -180,6 +202,8 @@ class SweepPoint:
             "seed": self.seed,
             "tags": dict(self.tags),
         }
+        if self.streaming:
+            data["streaming"] = True
         if self.topology is not None:
             data["topology"] = self.topology.metadata()
         return data
@@ -281,6 +305,10 @@ class SweepResult:
 _WORKER_SCENARIOS: Dict[str, object] = {}
 #: Scenarios realised in this process, memoised by their cache key.
 _REALISED: Dict[object, Tuple[ObjectCatalog, Trace]] = {}
+#: Trace descriptions memoised per build recipe (streaming sources would
+#: otherwise regenerate the whole event stream once per grid point just to
+#: recompute the same five summary numbers).
+_DESCRIBED: Dict[object, Dict[str, float]] = {}
 
 
 def _init_worker(scenarios: Mapping[str, object]) -> None:
@@ -288,16 +316,41 @@ def _init_worker(scenarios: Mapping[str, object]) -> None:
     _WORKER_SCENARIOS.clear()
     _WORKER_SCENARIOS.update(scenarios)
     _REALISED.clear()
+    _DESCRIBED.clear()
 
 
-def _realise(source: object) -> Tuple[ObjectCatalog, Trace]:
-    """Build (or fetch the memoised) catalogue + trace for one source."""
+def _realise(source: object, streaming: bool = False) -> Tuple[ObjectCatalog, TraceStream]:
+    """Build (or fetch the memoised) catalogue + event source for one source.
+
+    ``streaming=True`` realises through ``realise_stream()`` when the source
+    provides it; streaming and materialised realisations are memoised under
+    distinct keys (a stream is cheap state, a trace is the built events).
+    """
+    use_stream = streaming and hasattr(source, "realise_stream")
+    build = source.realise_stream if use_stream else source.realise
     cache_key = source.cache_key() if hasattr(source, "cache_key") else None
     if cache_key is None:
-        return source.realise()
+        return build()
+    cache_key = ("stream", cache_key) if use_stream else ("trace", cache_key)
     if cache_key not in _REALISED:
-        _REALISED[cache_key] = source.realise()
+        _REALISED[cache_key] = build()
     return _REALISED[cache_key]
+
+
+def _describe(source: object, trace: TraceStream) -> Dict[str, float]:
+    """The trace's summary statistics, memoised per build recipe.
+
+    Streaming and materialised realisations of one recipe describe
+    identically (a pinned equivalence), so they share one memo entry; the
+    description pass over a generated stream then runs once per worker
+    instead of once per grid point.
+    """
+    cache_key = source.cache_key() if hasattr(source, "cache_key") else None
+    if cache_key is None:
+        return trace.describe()
+    if cache_key not in _DESCRIBED:
+        _DESCRIBED[cache_key] = trace.describe()
+    return _DESCRIBED[cache_key]
 
 
 def _run_point(
@@ -305,12 +358,12 @@ def _run_point(
 ) -> Tuple[int, RunResult, Dict[str, float]]:
     """Execute one grid point (runs inside a worker process)."""
     source = _WORKER_SCENARIOS[point.scenario]
-    catalog, trace = _realise(source)
+    catalog, trace = _realise(source, streaming=point.streaming)
     if point.topology is not None:
         topology_result = run_topology(
             point.topology, catalog, trace, engine_config=point.engine
         )
-        return index, topology_result.aggregate, trace.describe()
+        return index, topology_result.aggregate, _describe(source, trace)
     capacity = point.cache_capacity
     if capacity is None:
         fraction = (
@@ -318,7 +371,7 @@ def _run_point(
         )
         capacity = catalog.total_size * fraction
     run = run_policy(point.spec, catalog, trace, capacity, engine_config=point.engine)
-    return index, run, trace.describe()
+    return index, run, _describe(source, trace)
 
 
 #: Progress callback signature: (points_done, points_total, finished point).

@@ -18,26 +18,52 @@ the documented statistical properties:
 
 The trace model (:mod:`repro.workload.trace`) is policy-agnostic and supports
 JSONL round-trips so generated traces can be saved, inspected and replayed.
+Beyond the materialised :class:`Trace`, the :class:`TraceStream` contract
+(with the lazily-generated sources in :mod:`repro.workload.stream` and the
+scenario-diversity models in :mod:`repro.workload.scenarios`) lets the
+engines replay traces far larger than memory; see ``docs/workloads.md``.
 """
 
 from repro.workload.hotspots import HotspotModel, HotspotPhase
-from repro.workload.mixer import interleave
+from repro.workload.mixer import interleave, iter_interleaved
 from repro.workload.partition import PARTITION_STRATEGIES, TracePartitioner
+from repro.workload.scenarios import (
+    DiurnalStream,
+    FlashCrowdStream,
+    ScenarioModelStream,
+    UpdateStormStream,
+)
 from repro.workload.sdss import SDSSQueryGenerator, SDSSWorkloadConfig
-from repro.workload.trace import QueryEvent, Trace, TraceEvent, UpdateEvent
+from repro.workload.stream import EvolvingTraceStream
+from repro.workload.trace import (
+    QueryEvent,
+    Trace,
+    TraceEvent,
+    TraceStream,
+    TraceView,
+    UpdateEvent,
+)
 from repro.workload.updates import SurveyUpdateGenerator, UpdateWorkloadConfig
 
 __all__ = [
     "HotspotModel",
     "HotspotPhase",
     "interleave",
+    "iter_interleaved",
     "PARTITION_STRATEGIES",
     "TracePartitioner",
+    "DiurnalStream",
+    "EvolvingTraceStream",
+    "FlashCrowdStream",
+    "ScenarioModelStream",
+    "UpdateStormStream",
     "SDSSQueryGenerator",
     "SDSSWorkloadConfig",
     "QueryEvent",
     "Trace",
     "TraceEvent",
+    "TraceStream",
+    "TraceView",
     "UpdateEvent",
     "SurveyUpdateGenerator",
     "UpdateWorkloadConfig",

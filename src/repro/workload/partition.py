@@ -28,7 +28,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.repository.queries import Query
 from repro.sky.partition import contiguous_sky_slices
-from repro.workload.trace import QueryEvent, Trace, UpdateEvent
+from repro.workload.trace import QueryEvent, Trace, TraceStream, UpdateEvent
 
 #: Known object-to-site assignment strategies.
 PARTITION_STRATEGIES = ("region", "affinity")
@@ -90,10 +90,14 @@ class TracePartitioner:
         cls,
         object_ids: Sequence[int],
         site_count: int,
-        trace: Trace,
+        trace: TraceStream,
         strategy: str = "region",
     ) -> "TracePartitioner":
-        """Build a partitioner for a trace (computes affinity counts)."""
+        """Build a partitioner for a trace (computes affinity counts).
+
+        ``trace`` may be any :class:`~repro.workload.trace.TraceStream`; the
+        ``affinity`` strategy makes one streaming pass over its queries.
+        """
         counts: Dict[int, int] = {}
         if strategy == "affinity":
             for query in trace.queries():

@@ -84,6 +84,29 @@ class SDSSWorkloadConfig:
     seed: int = 42
 
 
+def contiguous_footprint(object_ids: Sequence[int], anchor: int, size: int) -> List[int]:
+    """A spatially coherent footprint of ``size`` objects around ``anchor``.
+
+    Object ids are contiguous over the sky, so the footprint walks outward
+    from the anchor id, wrapping at the catalogue boundary.  Pure function of
+    its inputs (no RNG), shared by the SDSS generator and the scenario
+    workload models.
+    """
+    anchor_index = object_ids.index(anchor)
+    footprint = [anchor]
+    offset = 1
+    while len(footprint) < size and offset < len(object_ids):
+        right = object_ids[(anchor_index + offset) % len(object_ids)]
+        if right not in footprint:
+            footprint.append(right)
+        if len(footprint) < size:
+            left = object_ids[(anchor_index - offset) % len(object_ids)]
+            if left not in footprint:
+                footprint.append(left)
+        offset += 1
+    return footprint[:size]
+
+
 class SDSSQueryGenerator:
     """Generator of SDSS-shaped query streams over an object catalogue."""
 
@@ -133,31 +156,47 @@ class SDSSQueryGenerator:
     # Generation
     # ------------------------------------------------------------------
     def _footprint(self, anchor: int, size: int) -> List[int]:
-        """A spatially coherent footprint of ``size`` objects around ``anchor``.
-
-        Object ids are contiguous over the sky, so the footprint walks outward
-        from the anchor id, wrapping at the catalogue boundary.
-        """
-        object_ids = self._catalog.object_ids
-        anchor_index = object_ids.index(anchor)
-        footprint = [anchor]
-        offset = 1
-        while len(footprint) < size and offset < len(object_ids):
-            right = object_ids[(anchor_index + offset) % len(object_ids)]
-            if right not in footprint:
-                footprint.append(right)
-            if len(footprint) < size:
-                left = object_ids[(anchor_index - offset) % len(object_ids)]
-                if left not in footprint:
-                    footprint.append(left)
-            offset += 1
-        return footprint[:size]
+        """See :func:`contiguous_footprint` (kept as a method for callers)."""
+        return contiguous_footprint(self._catalog.object_ids, anchor, size)
 
     def _raw_cost(self, footprint: Sequence[int], template: TemplateShape) -> float:
         """Unscaled result cost: selectivity times the size of touched data."""
         touched_size = sum(self._catalog.size_of(object_id) for object_id in footprint)
         selectivity = template.draw_selectivity(self._rng)
         return max(touched_size * selectivity, 1e-6)
+
+    def _draw_draft(
+        self, index: int, warmup_cutoff: int
+    ) -> Tuple[List[int], float, float, str]:
+        """Draw one query draft: ``(footprint, raw cost, tolerance, template)``.
+
+        All RNG consumption for one query happens here, in a fixed order, so
+        the batch (:meth:`generate`) and streaming (:meth:`iter_queries`)
+        paths produce byte-identical drafts from identically-seeded
+        generators.
+        """
+        config = self._config
+        template = choose_template(config.templates, self._rng)
+        is_flare = self._rng.random() < config.flare_probability
+        is_hotspot = False
+        if is_flare:
+            anchor = self._flares.next_object()
+        else:
+            anchor = self._hotspots.next_object()
+            is_hotspot = anchor in self._hotspots.current_focus
+        footprint_size = template.draw_footprint_size(self._rng)
+        footprint = self._footprint(anchor, footprint_size)
+        cost = self._raw_cost(footprint, template)
+        if is_flare:
+            cost *= config.flare_cost_factor
+        elif not is_hotspot:
+            cost *= config.background_cost_factor
+        if index < warmup_cutoff:
+            cost *= config.warmup_cost_factor
+        tolerance = 0.0
+        if self._rng.random() < config.tolerant_fraction:
+            tolerance = config.tolerance_window
+        return footprint, cost, tolerance, template.name
 
     def generate(self, timestamps: Optional[Sequence[float]] = None) -> List[Query]:
         """Generate the configured number of queries.
@@ -178,28 +217,10 @@ class SDSSQueryGenerator:
 
         drafts: List[Tuple[int, List[int], float, float, str]] = []
         for index in range(count):
-            template = choose_template(config.templates, self._rng)
-            is_flare = self._rng.random() < config.flare_probability
-            is_hotspot = False
-            if is_flare:
-                anchor = self._flares.next_object()
-            else:
-                anchor = self._hotspots.next_object()
-                is_hotspot = anchor in self._hotspots.current_focus
-            footprint_size = template.draw_footprint_size(self._rng)
-            footprint = self._footprint(anchor, footprint_size)
-            cost = self._raw_cost(footprint, template)
-            if is_flare:
-                cost *= config.flare_cost_factor
-            elif not is_hotspot:
-                cost *= config.background_cost_factor
-            if index < warmup_cutoff:
-                cost *= config.warmup_cost_factor
-            tolerance = 0.0
-            if self._rng.random() < config.tolerant_fraction:
-                tolerance = config.tolerance_window
-            timestamp = float(timestamps[index]) if timestamps is not None else float(index + 1)
-            drafts.append((index, footprint, cost, tolerance, template.name))
+            footprint, cost, tolerance, template_name = self._draw_draft(
+                index, warmup_cutoff
+            )
+            drafts.append((index, footprint, cost, tolerance, template_name))
             # keep timestamp paired with the draft implicitly via index
 
         costs = np.array([draft[2] for draft in drafts], dtype=float)
@@ -220,6 +241,60 @@ class SDSSQueryGenerator:
                 )
             )
         return queries
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def raw_cost_total(self) -> float:
+        """Total unscaled cost over a full draft pass (consumes this generator).
+
+        This is the calibration pass of the streaming pipeline: a fresh,
+        identically-seeded generator draws every draft, accumulating only the
+        cost vector, so the ``target_total_cost`` scale factor can be
+        computed without holding any query objects.  The costs are summed
+        through the same NumPy reduction :meth:`generate` uses, keeping the
+        factor byte-identical between the two paths.
+        """
+        config = self._config
+        count = config.query_count
+        warmup_cutoff = int(count * config.warmup_fraction)
+        costs = np.empty(count, dtype=float)
+        for index in range(count):
+            costs[index] = self._draw_draft(index, warmup_cutoff)[1]
+        return float(costs.sum())
+
+    def cost_scale(self) -> float:
+        """The ``target_total_cost`` scale factor (consumes this generator)."""
+        target = self._config.target_total_cost
+        if target is None:
+            return 1.0
+        total = self.raw_cost_total()
+        if total <= 0:
+            return 1.0
+        return target / total
+
+    def iter_queries(self, cost_scale: float = 1.0) -> Iterator[Query]:
+        """Yield queries one at a time (consumes this generator).
+
+        ``cost_scale`` is the pre-computed ``target_total_cost`` factor (see
+        :meth:`cost_scale`); pass ``1.0`` for unscaled costs.  Timestamps
+        default to 1, 2, 3, ... exactly as :meth:`generate`'s.
+        """
+        config = self._config
+        count = config.query_count
+        warmup_cutoff = int(count * config.warmup_fraction)
+        for index in range(count):
+            footprint, cost, tolerance, template_name = self._draw_draft(
+                index, warmup_cutoff
+            )
+            yield Query(
+                query_id=self._allocator.next_id(),
+                object_ids=frozenset(footprint),
+                cost=float(cost * cost_scale),
+                timestamp=float(index + 1),
+                tolerance=tolerance,
+                template=template_name,
+            )
 
     def stream(self) -> Iterator[Query]:
         """Generate queries lazily (one at a time, default timestamps)."""

@@ -6,15 +6,28 @@ the repository.  Events wrap the :class:`repro.repository.queries.Query` and
 :class:`repro.repository.updates.Update` domain objects and add nothing but a
 uniform ``timestamp`` / ``kind`` accessor, so policies can iterate one stream.
 
-Traces support JSONL (one event per line) round-trips so that generated
-workloads can be persisted, diffed and replayed, and slicing/statistics
-helpers used throughout the experiments and reports.
+Two kinds of event source live here:
+
+* :class:`TraceStream` -- the source contract the simulation engines replay:
+  a restartable, deterministic, time-ordered event sequence of known length.
+  Streams never have to materialise their events, so workloads far larger
+  than memory can be replayed in (near-)constant RSS; see
+  :mod:`repro.workload.stream` and :mod:`repro.workload.scenarios` for the
+  lazily-generated implementations.
+* :class:`Trace` -- the concrete, fully-materialised source.  It keeps every
+  event in a list, supports JSONL (one event per line) round-trips so that
+  generated workloads can be persisted, diffed and replayed, plus the
+  slicing/statistics helpers used throughout the experiments and reports.
+  :meth:`Trace.slice_events` returns a :class:`TraceView` -- a zero-copy
+  window over the parent's event list.
 """
 
 from __future__ import annotations
 
+import abc
 import json
 from dataclasses import dataclass
+from itertools import islice
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
@@ -59,8 +72,109 @@ class UpdateEvent(SlottedFrozenPickle):
 
 TraceEvent = Union[QueryEvent, UpdateEvent]
 
+#: ``(is_update, payload)`` pair -- the engines' dispatch form of one event.
+TaggedEvent = Tuple[bool, Union[Query, Update]]
 
-class Trace:
+
+def tag_event(event: TraceEvent) -> TaggedEvent:
+    """The ``(is_update, payload)`` dispatch form of one event."""
+    if isinstance(event, UpdateEvent):
+        return (True, event.update)
+    if isinstance(event, QueryEvent):
+        return (False, event.query)
+    raise TypeError(f"unknown event type {type(event)!r}")
+
+
+class TraceStream(abc.ABC):
+    """Contract every replayable event source satisfies.
+
+    A stream is a *restartable*, deterministic, time-ordered sequence of
+    :data:`TraceEvent` of known length: every call to :meth:`iter_events`
+    (or :meth:`iter_tagged`) yields the same events in the same order, and
+    ``len(stream)`` is known without a pass.  Implementations are free to
+    generate events lazily -- the simulation engines only ever make forward
+    passes, so a lazily-generated stream is replayed in constant memory.
+
+    Some consumers make more than one pass (offline preparation reads the
+    query and update streams before the replay; sweeps record
+    :meth:`describe` statistics), which restartability makes safe: each pass
+    simply regenerates the sequence.
+    """
+
+    @abc.abstractmethod
+    def iter_events(self) -> Iterator[TraceEvent]:
+        """Yield every event in timestamp order (restartable)."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Total number of events (known without iterating)."""
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return self.iter_events()
+
+    def iter_tagged(self) -> Iterator[TaggedEvent]:
+        """``(is_update, payload)`` pairs in event order (restartable).
+
+        The engines' replay loops dispatch on the boolean tag instead of
+        calling ``isinstance`` per event per policy run.
+        """
+        for event in self.iter_events():
+            yield tag_event(event)
+
+    def iter_chunks(self, size: int = 8192) -> Iterator[List[TraceEvent]]:
+        """Events grouped into lists of at most ``size`` (batch consumers)."""
+        if size <= 0:
+            raise ValueError("chunk size must be positive")
+        events = self.iter_events()
+        while True:
+            chunk = list(islice(events, size))
+            if not chunk:
+                return
+            yield chunk
+
+    def queries(self) -> Iterable[Query]:
+        """All queries in order (lazy for generated streams)."""
+        return (
+            payload for is_update, payload in self.iter_tagged() if not is_update
+        )
+
+    def updates(self) -> Iterable[Update]:
+        """All updates in order (lazy for generated streams)."""
+        return (payload for is_update, payload in self.iter_tagged() if is_update)
+
+    def total_query_cost(self) -> float:
+        """Sum of query shipping costs (the NoCache total)."""
+        return sum(query.cost for query in self.queries())
+
+    def total_update_cost(self) -> float:
+        """Sum of update shipping costs (the Replica total, ignoring loads)."""
+        return sum(update.cost for update in self.updates())
+
+    def describe(self) -> Dict[str, float]:
+        """Summary statistics for reports, computed in one streaming pass."""
+        queries = updates = 0
+        query_cost = update_cost = 0.0
+        for is_update, payload in self.iter_tagged():
+            if is_update:
+                updates += 1
+                update_cost += payload.cost
+            else:
+                queries += 1
+                query_cost += payload.cost
+        return {
+            "events": float(queries + updates),
+            "queries": float(queries),
+            "updates": float(updates),
+            "total_query_cost": query_cost,
+            "total_update_cost": update_cost,
+        }
+
+    def materialise(self) -> "Trace":
+        """A fully-materialised :class:`Trace` holding this stream's events."""
+        return Trace(self.iter_events())
+
+
+class Trace(TraceStream):
     """A time-ordered sequence of query and update events."""
 
     def __init__(self, events: Iterable[TraceEvent]) -> None:
@@ -103,6 +217,18 @@ class Trace:
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
+    def iter_events(self) -> Iterator[TraceEvent]:
+        """Iterate the materialised event list (the stream contract)."""
+        return iter(self._events)
+
+    def iter_tagged(self) -> Iterator[Tuple[bool, Union[Query, Update]]]:
+        """Iterate the cached ``(is_update, payload)`` view (hot path)."""
+        return iter(self.tagged_events())
+
+    def materialise(self) -> "Trace":
+        """Already materialised: return self."""
+        return self
+
     def tagged_events(self) -> List[Tuple[bool, Union[Query, Update]]]:
         """``(is_update, payload)`` pairs in event order, built once.
 
@@ -112,14 +238,7 @@ class Trace:
         """
         tagged = self._tagged
         if tagged is None:
-            tagged = []
-            for event in self._events:
-                if isinstance(event, UpdateEvent):
-                    tagged.append((True, event.update))
-                elif isinstance(event, QueryEvent):
-                    tagged.append((False, event.query))
-                else:
-                    raise TypeError(f"unknown event type {type(event)!r}")
+            tagged = [tag_event(event) for event in self._events]
             self._tagged = tagged
         return tagged
 
@@ -141,9 +260,14 @@ class Trace:
         """Number of update events."""
         return sum(1 for event in self._events if isinstance(event, UpdateEvent))
 
-    def slice_events(self, start: int, stop: Optional[int] = None) -> "Trace":
-        """Sub-trace by event index (used to skip the warm-up period)."""
-        return Trace(self._events[start:stop])
+    def slice_events(self, start: int, stop: Optional[int] = None) -> "TraceView":
+        """Zero-copy sub-trace by event index (used to skip warm-up periods).
+
+        Returns a :class:`TraceView` backed by this trace's event list, so
+        repeated warm-up splits in a sweep cost O(1) each instead of copying
+        the tail of the trace every time (quadratic over a split grid).
+        """
+        return TraceView(self, start, stop)
 
     # ------------------------------------------------------------------
     # Statistics
@@ -218,6 +342,82 @@ class Trace:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Trace(events={len(self._events)}, queries={self.query_count}, updates={self.update_count})"
+
+
+class TraceView(TraceStream):
+    """A zero-copy window over a :class:`Trace`'s event list.
+
+    The view holds only the parent trace and the resolved ``[start, stop)``
+    index range, so slicing is O(1) regardless of the trace length.  It
+    satisfies the full :class:`TraceStream` contract (iteration, statistics,
+    ``materialise``); indexing is supported for spot checks, and nested
+    slices stay views over the original list.
+    """
+
+    def __init__(self, parent: Trace, start: int, stop: Optional[int] = None) -> None:
+        events = parent._events
+        start, stop, _ = slice(start, stop).indices(len(events))
+        self._parent = parent
+        self._events = events
+        self._start = start
+        self._stop = max(start, stop)
+
+    @property
+    def parent(self) -> Trace:
+        """The trace this view windows into."""
+        return self._parent
+
+    @property
+    def start(self) -> int:
+        """First event index of the window (resolved, inclusive)."""
+        return self._start
+
+    @property
+    def stop(self) -> int:
+        """Last event index of the window (resolved, exclusive)."""
+        return self._stop
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def iter_events(self) -> Iterator[TraceEvent]:
+        events = self._events
+        for index in range(self._start, self._stop):
+            yield events[index]
+
+    def iter_tagged(self) -> Iterator[TaggedEvent]:
+        """Window of the parent's cached tagged view (hot path)."""
+        return islice(iter(self._parent.tagged_events()), self._start, self._stop)
+
+    def __getitem__(self, index: int) -> TraceEvent:
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            if step != 1:
+                raise ValueError("TraceView does not support extended slices")
+            return TraceView(self._parent, self._start + start, self._start + stop)
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("trace view index out of range")
+        return self._events[self._start + index]
+
+    def slice_events(self, start: int, stop: Optional[int] = None) -> "TraceView":
+        """A nested zero-copy view (indices relative to this view)."""
+        start, stop, _ = slice(start, stop).indices(len(self))
+        return TraceView(self._parent, self._start + start, self._start + stop)
+
+    @property
+    def query_count(self) -> int:
+        """Number of query events in the window (one pass)."""
+        return sum(1 for is_update, _ in self.iter_tagged() if not is_update)
+
+    @property
+    def update_count(self) -> int:
+        """Number of update events in the window (one pass)."""
+        return sum(1 for is_update, _ in self.iter_tagged() if is_update)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceView(events={len(self)}, start={self._start}, stop={self._stop})"
 
 
 def _event_to_dict(event: TraceEvent) -> Dict:

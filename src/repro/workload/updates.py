@@ -16,7 +16,7 @@ largely disjoint from query hotspots, as Figure 7(a) shows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -123,6 +123,39 @@ class SurveyUpdateGenerator:
             return int(self._rng.choice(self._scan_objects))
         return int(self._rng.choice(self._catalog.object_ids))
 
+    def _draw_arrivals(self) -> np.ndarray:
+        """Phase 1 of generation: every update's target object, in order.
+
+        Returned as a compact integer array (not boxed Python ints) so the
+        streaming path's per-update scratch stays at a few bytes per event.
+        """
+        count = self._config.update_count
+        arrivals = np.empty(count, dtype=np.int64)
+        for index in range(count):
+            arrivals[index] = self._next_object()
+        return arrivals
+
+    def _draw_raw_costs(self, object_choices: np.ndarray) -> np.ndarray:
+        """Phase 2: density-weighted log-normal cost per update, in order."""
+        densities = self._catalog.densities()
+        rng = self._rng
+        # Update size ~ density of the object times a log-normal wobble.
+        costs = np.empty(len(object_choices), dtype=float)
+        for index, object_id in enumerate(object_choices):
+            costs[index] = densities[int(object_id)] * float(rng.lognormal(0.0, 0.5))
+        return costs
+
+    def _draw_body(self) -> Tuple[str, int]:
+        """Phase 3 (per update): the kind and row-count bookkeeping draws."""
+        config = self._config
+        kind = (
+            UpdateKind.MODIFY
+            if self._rng.random() < config.modify_fraction
+            else UpdateKind.INSERT
+        )
+        rows = int(max(1, self._rng.poisson(config.mean_rows)))
+        return kind, rows
+
     def generate(self, timestamps: Optional[Sequence[float]] = None) -> List[Update]:
         """Generate the configured number of updates.
 
@@ -137,32 +170,19 @@ class SurveyUpdateGenerator:
         if timestamps is not None and len(timestamps) != count:
             raise ValueError(f"got {len(timestamps)} timestamps for {count} updates")
 
-        densities = self._catalog.densities()
-        object_choices = [self._next_object() for _ in range(count)]
-        # Update size ~ density of the object times a log-normal wobble.
-        raw_costs = np.array(
-            [
-                densities[object_id] * float(self._rng.lognormal(0.0, 0.5))
-                for object_id in object_choices
-            ],
-            dtype=float,
-        )
+        object_choices = self._draw_arrivals()
+        raw_costs = self._draw_raw_costs(object_choices)
         if config.target_total_cost is not None and raw_costs.sum() > 0:
             raw_costs *= config.target_total_cost / raw_costs.sum()
 
         updates: List[Update] = []
         for index, (object_id, cost) in enumerate(zip(object_choices, raw_costs)):
-            kind = (
-                UpdateKind.MODIFY
-                if self._rng.random() < config.modify_fraction
-                else UpdateKind.INSERT
-            )
-            rows = int(max(1, self._rng.poisson(config.mean_rows)))
+            kind, rows = self._draw_body()
             timestamp = float(timestamps[index]) if timestamps is not None else float(index + 1)
             updates.append(
                 Update(
                     update_id=self._allocator.next_id(),
-                    object_id=object_id,
+                    object_id=int(object_id),
                     cost=float(cost),
                     timestamp=timestamp,
                     kind=kind,
@@ -170,6 +190,52 @@ class SurveyUpdateGenerator:
                 )
             )
         return updates
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def raw_cost_total(self) -> float:
+        """Total unscaled cost over a full phase-1/2 pass (consumes this generator).
+
+        The calibration pass of the streaming pipeline: a fresh,
+        identically-seeded generator draws the arrival and cost phases and
+        returns the NumPy sum :meth:`generate` divides by, so the
+        ``target_total_cost`` scale factor is byte-identical between the
+        batch and streaming paths.
+        """
+        return float(self._draw_raw_costs(self._draw_arrivals()).sum())
+
+    def cost_scale(self) -> float:
+        """The ``target_total_cost`` scale factor (consumes this generator)."""
+        target = self._config.target_total_cost
+        if target is None:
+            return 1.0
+        total = self.raw_cost_total()
+        if total <= 0:
+            return 1.0
+        return target / total
+
+    def iter_updates(self, cost_scale: float = 1.0) -> Iterator[Update]:
+        """Yield updates one at a time (consumes this generator).
+
+        The generator's RNG phases are global over the stream (all arrivals,
+        then all costs, then the per-update bookkeeping), so this holds the
+        arrival ids and the cost vector as compact numeric buffers -- a few
+        bytes per update, never update *objects*.  ``cost_scale`` is the
+        pre-computed ``target_total_cost`` factor (see :meth:`cost_scale`).
+        """
+        object_choices = self._draw_arrivals()
+        raw_costs = self._draw_raw_costs(object_choices)
+        for index, (object_id, cost) in enumerate(zip(object_choices, raw_costs)):
+            kind, rows = self._draw_body()
+            yield Update(
+                update_id=self._allocator.next_id(),
+                object_id=int(object_id),
+                cost=float(cost * cost_scale),
+                timestamp=float(index + 1),
+                kind=kind,
+                rows=rows,
+            )
 
     def stream(self) -> Iterator[Update]:
         """Generate updates lazily (default timestamps)."""

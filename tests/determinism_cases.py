@@ -61,6 +61,22 @@ MULTISITE_CONFIG = ExperimentConfig(
 #: Number of cache sites in the multisite fixture.
 MULTISITE_SITES = 2
 
+#: Flash-crowd scenario: the streaming pipeline's determinism anchor.  One
+#: fixture pins the payloads; the test replays it both materialised and
+#: through the streaming trace pipeline, so the two paths can never drift.
+FLASHCROWD_CONFIG = ExperimentConfig(
+    object_count=32,
+    query_count=600,
+    update_count=600,
+    cache_fraction=0.3,
+    sample_every=150,
+    seed=13,
+    workload_model="flash_crowd",
+    flash_crowd_count=2,
+    flash_crowd_arrival=0.25,
+    flash_crowd_duration=0.15,
+)
+
 
 def canonical(payload: object) -> str:
     """Render a payload as canonical JSON (the byte form fixtures store)."""
@@ -106,8 +122,22 @@ def multisite_payloads(jobs: int = 1) -> Dict[str, object]:
     return {item.point.key: item.run.as_payload() for item in result.points}
 
 
+def flashcrowd_payloads(jobs: int = 1, streaming: bool = False) -> Dict[str, object]:
+    """Per-policy ``RunResult`` payloads for the flash-crowd scenario.
+
+    ``streaming=True`` replays the lazily-generated stream instead of the
+    materialised trace; both must match the same recorded fixture.
+    """
+    spec = ScenarioSpec(FLASHCROWD_CONFIG, name="determinism-flashcrowd")
+    comparison = api.run_scenario(
+        spec, policies=POLICIES, jobs=jobs, streaming=streaming
+    )
+    return {name: comparison[name].as_payload() for name in POLICIES}
+
+
 #: Fixture name -> capture function, shared by the generator and the tests.
 CASES = {
     "headline": headline_payloads,
     "multisite": multisite_payloads,
+    "flashcrowd": flashcrowd_payloads,
 }

@@ -22,12 +22,15 @@ from repro.experiments.registry import (
 EXPECTED_EXPERIMENTS = {
     "ablations",
     "cache_size",
+    "diurnal",
     "fig7a",
     "fig7b",
     "fig8a",
     "fig8b",
+    "flash_crowd",
     "headline",
     "multisite",
+    "update_storm",
     "warmup",
 }
 

@@ -90,6 +90,45 @@ class TestRunSuite:
             assert cases, name
             assert len({case.name for case in cases}) == len(cases)
 
+    def test_stress_suite_streams_flash_crowds(self):
+        cases = get_suite("stress")
+        assert all(case.streaming for case in cases)
+        assert all(
+            dict(case.overrides)["workload_model"] == "flash_crowd" for case in cases
+        )
+        # The RSS baseline case must run before the 5M-event case: per-case
+        # peak RSS is a process-wide high-water mark.
+        events = [dict(c.overrides)["query_count"] for c in cases]
+        assert events == sorted(events)
+
+    def test_streaming_case_matches_materialised_results(self):
+        shared = dict(
+            description="streaming equivalence probe",
+            overrides=(
+                ("workload_model", "flash_crowd"),
+                ("object_count", 12),
+                ("query_count", 60),
+                ("update_count", 60),
+            ),
+            policies=("nocache", "vcover"),
+        )
+        payload = run_suite(
+            (
+                BenchCase(name="probe-streamed", streaming=True, **shared),
+                BenchCase(name="probe-materialised", **shared),
+            )
+        )
+        validate_payload(payload)
+        streamed, materialised = payload["cases"]
+        assert streamed["streaming"] is True
+        assert materialised["streaming"] is False
+        for left, right in zip(streamed["policies"], materialised["policies"]):
+            assert left["policy"] == right["policy"]
+            assert left["total_traffic_mb"] == right["total_traffic_mb"]
+            assert (
+                left["queries_answered_at_cache"] == right["queries_answered_at_cache"]
+            )
+
 
 class TestPayloadRoundTrip:
     def test_write_then_load(self, payload, tmp_path):

@@ -25,6 +25,7 @@ from tests.determinism_cases import (
     FIXTURE_DIR,
     POLICIES,
     canonical,
+    flashcrowd_payloads,
     headline_payloads,
     multisite_payloads,
 )
@@ -84,6 +85,30 @@ class TestMultisiteScenario:
         assert stats["site_count"] == 2.0
         assert "site0_measured_traffic" in stats
         assert "site1_measured_traffic" in stats
+
+
+class TestFlashCrowdScenario:
+    """The streaming pipeline's determinism anchor.
+
+    One fixture, two replay paths: the materialised trace and the
+    lazily-generated stream must both reproduce it byte-for-byte, serial
+    and parallel alike.
+    """
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_materialised_payloads_byte_identical(self, jobs):
+        assert canonical(flashcrowd_payloads(jobs=jobs)) == recorded("flashcrowd")
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_streaming_payloads_byte_identical(self, jobs):
+        assert canonical(
+            flashcrowd_payloads(jobs=jobs, streaming=True)
+        ) == recorded("flashcrowd")
+
+    def test_fixture_covers_all_policies(self):
+        payload = json.loads(recorded("flashcrowd"))
+        assert set(payload) == set(POLICIES)
+        assert payload["vcover"]["total_traffic"] > 0
 
 
 def test_cases_registry_matches_fixture_files():

@@ -1,0 +1,273 @@
+"""Property-based tests for the flow layer (hypothesis).
+
+Three families of invariants, each checked against randomly generated
+structures rather than hand-picked examples:
+
+* the max-flow solvers certify themselves: both methods agree, conserve
+  flow, and the max-flow value equals the capacity of the residual min cut
+  (the LP-duality identity the vertex-cover reduction rests on);
+* :func:`repro.flow.vertex_cover.min_weight_vertex_cover` is *exactly*
+  optimal: on small random bipartite instances it always returns a valid
+  cover whose weight matches the exponential brute-force oracle;
+* :class:`repro.core.interaction_graph.InteractionGraph` keeps its incidence
+  maps consistent under arbitrary add / advise / drop sequences -- the
+  remainder-subgraph pruning of Section 4 must never leave dangling edges or
+  stale vertices behind.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.interaction_graph import InteractionGraph
+from repro.flow.graph import FlowNetwork
+from repro.flow.maxflow import solve_max_flow
+from repro.flow.vertex_cover import (
+    SINK,
+    SOURCE,
+    BipartiteCoverInstance,
+    brute_force_min_cover,
+    build_cover_network,
+    min_weight_vertex_cover,
+)
+from repro.repository.queries import Query
+from repro.repository.updates import Update
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+#: Weights on a 0.25 quantum: exactly representable, so optimal covers are
+#: separated by at least 0.25 and never decided by float noise.
+weight = st.integers(min_value=1, max_value=64).map(lambda n: n / 4.0)
+
+
+@st.composite
+def cover_instances(draw):
+    """A small random weighted bipartite cover instance."""
+    left_count = draw(st.integers(min_value=1, max_value=5))
+    right_count = draw(st.integers(min_value=1, max_value=5))
+    left_weights = {f"q{i}": draw(weight) for i in range(left_count)}
+    right_weights = {f"u{j}": draw(weight) for j in range(right_count)}
+    all_edges = [(left, right) for left in left_weights for right in right_weights]
+    chosen = draw(
+        st.lists(st.sampled_from(all_edges), unique=True, max_size=len(all_edges))
+    )
+    return BipartiteCoverInstance.from_iterables(left_weights, right_weights, chosen)
+
+
+@st.composite
+def flow_networks(draw):
+    """A small random capacitated digraph with designated source and sink."""
+    vertex_count = draw(st.integers(min_value=2, max_value=7))
+    pairs = [
+        (tail, head)
+        for tail in range(vertex_count)
+        for head in range(vertex_count)
+        if tail != head
+    ]
+    edges = draw(
+        st.lists(st.sampled_from(pairs), unique=True, min_size=1, max_size=14)
+    )
+    network = FlowNetwork()
+    for vertex in range(vertex_count):
+        network.add_vertex(vertex)
+    for tail, head in edges:
+        network.add_edge(tail, head, draw(weight))
+    return network, 0, vertex_count - 1
+
+
+# ----------------------------------------------------------------------
+# Max-flow = min-cut
+# ----------------------------------------------------------------------
+def _residual_cut_capacity(network: FlowNetwork, source) -> float:
+    """Capacity of the cut induced by the residual-reachable source side."""
+    reachable = network.residual_reachable(source)
+    return sum(
+        arc.capacity
+        for arc in network.forward_edges()
+        if arc.tail in reachable and arc.head not in reachable
+    )
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=flow_networks())
+def test_property_max_flow_equals_min_cut(case):
+    """On arbitrary networks the flow value equals the residual cut capacity."""
+    network, source, sink = case
+    flow = solve_max_flow(network, source, sink, method="edmonds-karp")
+    network.check_flow_conservation(source, sink)
+    assert flow == pytest.approx(_residual_cut_capacity(network, source))
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=flow_networks())
+def test_property_solvers_agree(case):
+    """Edmonds-Karp and Dinic compute the same max-flow value."""
+    network, source, sink = case
+    ek = solve_max_flow(network.copy(), source, sink, method="edmonds-karp")
+    dinic = solve_max_flow(network.copy(), source, sink, method="dinic")
+    assert ek == pytest.approx(dinic)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(instance=cover_instances())
+def test_property_cover_network_flow_equals_cut(instance):
+    """The duality identity holds on the vertex-cover reduction networks too."""
+    network = build_cover_network(instance)
+    flow = solve_max_flow(network, SOURCE, SINK, method="dinic")
+    assert flow == pytest.approx(_residual_cut_capacity(network, SOURCE))
+
+
+# ----------------------------------------------------------------------
+# Vertex cover vs brute force
+# ----------------------------------------------------------------------
+@settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(instance=cover_instances(), method=st.sampled_from(["edmonds-karp", "dinic"]))
+def test_property_vertex_cover_matches_brute_force(instance, method):
+    """The flow-based cover is valid and exactly as light as the oracle's."""
+    result = min_weight_vertex_cover(instance, method=method)
+    oracle = brute_force_min_cover(instance)
+    assert result.covers(instance.edges)
+    assert result.weight == pytest.approx(oracle.weight)
+    # LP duality: the certifying flow carries exactly the cover weight.
+    assert result.flow_value == pytest.approx(result.weight)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(instance=cover_instances())
+def test_property_cover_contains_no_isolated_vertices(instance):
+    """Vertices without incident edges are never charged for."""
+    result = min_weight_vertex_cover(instance)
+    touched = {left for left, _ in instance.edges} | {
+        right for _, right in instance.edges
+    }
+    assert result.cover <= touched
+
+
+# ----------------------------------------------------------------------
+# InteractionGraph incidence consistency
+# ----------------------------------------------------------------------
+#: One random operation of the interaction-graph driver.
+graph_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["query", "update", "drop"]),
+        st.floats(min_value=0.25, max_value=16.0, allow_nan=False),
+        st.lists(st.integers(min_value=0, max_value=30), max_size=4),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _check_incidence_consistency(graph: InteractionGraph) -> None:
+    """The incidence maps must stay symmetric and reference only active keys."""
+    active_updates = set(graph._active_update_keys.values())
+    assert set(graph._edges_by_query) <= graph._active_query_keys
+    assert set(graph._edges_by_update) <= active_updates
+    for query_key, update_keys in graph._edges_by_query.items():
+        assert update_keys, "empty incidence sets must be removed"
+        for update_key in update_keys:
+            assert query_key in graph._edges_by_update[update_key]
+    for update_key, query_keys in graph._edges_by_update.items():
+        assert query_keys, "empty incidence sets must be removed"
+        for query_key in query_keys:
+            assert update_key in graph._edges_by_query[query_key]
+    assert graph.edge_count == sum(
+        len(keys) for keys in graph._edges_by_update.values()
+    )
+    # The exported instance must be self-consistent (its validator checks
+    # every edge endpoint has a weight).
+    graph.to_instance()
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=graph_ops)
+def test_property_interaction_graph_incidence_consistency(ops):
+    """Arbitrary add/advise/drop sequences never corrupt the remainder graph."""
+    graph = InteractionGraph()
+    outstanding: dict[int, Update] = {}
+    next_id = 0
+    for kind, cost, picks in ops:
+        next_id += 1
+        if kind == "update":
+            update = Update(
+                update_id=next_id, object_id=1, cost=cost, timestamp=float(next_id)
+            )
+            graph.add_update(update)
+            outstanding[next_id] = update
+        elif kind == "query":
+            query = Query(
+                query_id=next_id,
+                object_ids=frozenset([1]),
+                cost=cost,
+                timestamp=float(next_id),
+            )
+            graph.add_query(query)
+            candidates = sorted(outstanding)
+            for pick in picks:
+                if candidates:
+                    graph.add_interaction(
+                        query, outstanding[candidates[pick % len(candidates)]]
+                    )
+            advice = graph.advise(query)
+            for update_id in advice.ship_updates:
+                outstanding.pop(update_id, None)
+        else:  # drop
+            candidates = sorted(outstanding)
+            dropped = {
+                candidates[pick % len(candidates)] for pick in picks if candidates
+            }
+            graph.drop_updates(dropped)
+            for update_id in dropped:
+                outstanding.pop(update_id, None)
+        _check_incidence_consistency(graph)
+        assert graph.active_update_ids() == frozenset(outstanding)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=graph_ops)
+def test_property_interaction_graph_advice_covers_interactions(ops):
+    """Advice is a cover: a kept query never leaves an interaction unpaid."""
+    graph = InteractionGraph()
+    outstanding: dict[int, Update] = {}
+    next_id = 0
+    for kind, cost, picks in ops:
+        next_id += 1
+        if kind == "update":
+            update = Update(
+                update_id=next_id, object_id=1, cost=cost, timestamp=float(next_id)
+            )
+            graph.add_update(update)
+            outstanding[next_id] = update
+        elif kind == "query":
+            query = Query(
+                query_id=next_id,
+                object_ids=frozenset([1]),
+                cost=cost,
+                timestamp=float(next_id),
+            )
+            graph.add_query(query)
+            candidates = sorted(outstanding)
+            interacting = set()
+            for pick in picks:
+                if candidates:
+                    chosen = candidates[pick % len(candidates)]
+                    graph.add_interaction(query, outstanding[chosen])
+                    interacting.add(chosen)
+            advice = graph.advise(query)
+            if not advice.ship_query:
+                # Keeping the query at the cache requires every update it
+                # interacts with to be shipped by this or an earlier cover.
+                assert interacting <= set(advice.ship_updates)
+            for update_id in advice.ship_updates:
+                outstanding.pop(update_id, None)
+        else:
+            candidates = sorted(outstanding)
+            dropped = {
+                candidates[pick % len(candidates)] for pick in picks if candidates
+            }
+            graph.drop_updates(dropped)
+            for update_id in dropped:
+                outstanding.pop(update_id, None)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.workload.trace import QueryEvent, Trace, UpdateEvent
+from repro.workload.trace import QueryEvent, Trace, TraceView, UpdateEvent
 from tests.conftest import make_query, make_update
 
 
@@ -43,12 +43,31 @@ class TestTraceBasics:
         assert kinds == ["update", "query", "update", "query", "query"]
         assert trace[0].timestamp == pytest.approx(1.0)
 
-    def test_slicing_returns_trace(self):
+    def test_slicing_returns_view(self):
         trace = build_trace()
         tail = trace.slice_events(2)
-        assert isinstance(tail, Trace)
+        assert isinstance(tail, TraceView)
         assert len(tail) == 3
+        assert tail.parent is trace
+        assert list(tail) == list(trace)[2:]
         assert isinstance(trace[1:3], Trace)
+
+    def test_slice_view_is_zero_copy_and_nestable(self):
+        trace = build_trace()
+        view = trace.slice_events(1, 4)
+        assert [e.timestamp for e in view] == [2.0, 3.0, 4.0]
+        assert view[0] is trace[1]
+        assert view[-1] is trace[3]
+        nested = view.slice_events(1)
+        assert isinstance(nested, TraceView)
+        assert nested.parent is trace
+        assert list(nested) == list(trace)[2:4]
+        assert list(view.iter_tagged()) == trace.tagged_events()[1:4]
+        assert view.query_count + view.update_count == len(view)
+        assert view.describe()["events"] == 3.0
+        materialised = view.materialise()
+        assert isinstance(materialised, Trace)
+        assert list(materialised) == list(view)
 
     def test_cost_totals(self):
         trace = build_trace()
