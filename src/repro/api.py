@@ -15,7 +15,14 @@ signatures are kept stable:
 * :func:`format_result` -- render an experiment result the way its module's
   ``format_*`` helper does,
 * :func:`run_bench` / :func:`compare_bench` -- execute a timed benchmark
-  suite and diff two result payloads (the library face of ``repro bench``).
+  suite and diff two result payloads (the library face of ``repro bench``),
+* :func:`ingest_scenario` -- read a CSV/JSONL/parquet query log, fit the
+  scenario knobs to it and return the replayable
+  :class:`~repro.experiments.spec.ScenarioSpec` (the library face of
+  ``repro ingest``),
+* :func:`draw_fuzzed_scenario` / :func:`load_fuzzed_scenario` -- one seeded
+  draw of the adversarial scenario fuzzer, and a saved minimal-repro file
+  read back (see :mod:`repro.workload.fuzz`).
 
 Quickstart::
 
@@ -63,31 +70,60 @@ from repro.experiments.spec import (
 from repro.sim.engine import EngineConfig
 from repro.sim.results import ComparisonResult
 from repro.sim.runner import compare_policies, default_policy_specs
+from repro.workload.fuzz import (
+    CompositionSpec,
+    FuzzError,
+    draw_composition_spec,
+    load_composition,
+)
+from repro.workload.ingest import CalibrationResult, IngestError, ingest_scenario
 
 #: The paper's two algorithms plus the three yardsticks.
 DEFAULT_POLICIES = ("nocache", "replica", "benefit", "vcover", "soptimal")
 
 __all__ = [
     "DEFAULT_POLICIES",
+    "CalibrationResult",
+    "CompositionSpec",
     "DuplicateExperimentError",
     "ExperimentConfig",
     "ExperimentSpec",
+    "FuzzError",
+    "IngestError",
     "InvalidOverrideError",
     "ScenarioError",
     "ScenarioSpec",
     "UnknownExperimentError",
     "UnknownOverrideError",
     "compare_bench",
+    "draw_fuzzed_scenario",
     "experiment_specs",
     "format_result",
     "get_experiment",
+    "ingest_scenario",
     "list_experiments",
+    "load_fuzzed_scenario",
     "load_scenario",
     "run_bench",
     "run_experiment",
     "run_scenario",
     "save_scenario",
 ]
+
+
+def draw_fuzzed_scenario(seed: int, max_segments: int = 3) -> CompositionSpec:
+    """One seeded draw of the adversarial scenario fuzzer.
+
+    The returned :class:`~repro.workload.fuzz.CompositionSpec` is a sweep
+    scenario source (hand it to the runner directly) and JSON
+    round-trippable; the draw is fully determined by ``seed``.
+    """
+    return draw_composition_spec(seed, max_segments=max_segments)
+
+
+def load_fuzzed_scenario(path: Union[str, Path]) -> CompositionSpec:
+    """Read back a fuzzer composition file (e.g. a saved minimal repro)."""
+    return load_composition(path)
 
 
 def list_experiments() -> List[str]:
@@ -128,7 +164,7 @@ def format_result(name: str, result: object) -> str:
 
 
 def run_scenario(
-    scenario: Union[ScenarioSpec, ExperimentConfig, str, Path],
+    scenario: Union[ScenarioSpec, ExperimentConfig, CompositionSpec, str, Path],
     policies: Optional[Sequence[str]] = None,
     jobs: int = 1,
     cache_fraction: Optional[float] = None,
@@ -140,8 +176,10 @@ def run_scenario(
     Parameters
     ----------
     scenario:
-        A :class:`ScenarioSpec`, a bare :class:`ExperimentConfig`, or a path
-        to a JSON/TOML scenario file (see :func:`load_scenario`).
+        A :class:`ScenarioSpec`, a bare :class:`ExperimentConfig`, a fuzzer
+        :class:`~repro.workload.fuzz.CompositionSpec` (e.g. a saved minimal
+        repro read back with :func:`load_fuzzed_scenario`), or a path to a
+        JSON/TOML scenario file (see :func:`load_scenario`).
     policies:
         Policy names to compare (default: the full paper set,
         :data:`DEFAULT_POLICIES`).
@@ -162,6 +200,15 @@ def run_scenario(
         scenario = load_scenario(scenario)
     if isinstance(scenario, ExperimentConfig):
         scenario = ScenarioSpec(scenario)
+    if isinstance(scenario, CompositionSpec):
+        return _run_composition(
+            scenario,
+            policies=policies,
+            jobs=jobs,
+            cache_fraction=cache_fraction,
+            cache_capacity=cache_capacity,
+            streaming=streaming,
+        )
     config = scenario.config
     specs = default_policy_specs(
         benefit_config=BenefitConfig(window_size=config.benefit_window),
@@ -193,5 +240,46 @@ def run_scenario(
         cache_capacity=cache_capacity,
         specs=specs,
         engine_config=engine,
+        jobs=jobs,
+    )
+
+
+def _run_composition(
+    composition: CompositionSpec,
+    policies: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    cache_fraction: Optional[float] = None,
+    cache_capacity: Optional[float] = None,
+    streaming: bool = False,
+) -> ComparisonResult:
+    """The :func:`run_scenario` path for fuzzer compositions.
+
+    A composition carries its own drawn ``cache_fraction`` (the adversary
+    segment is sized against it), which becomes the default cache size.
+    """
+    specs = default_policy_specs(
+        include=tuple(policies) if policies else DEFAULT_POLICIES
+    )
+    fraction = (
+        composition.cache_fraction if cache_fraction is None else cache_fraction
+    )
+    if streaming:
+        return compare_policies(
+            None,
+            None,
+            cache_fraction=fraction,
+            cache_capacity=cache_capacity,
+            specs=specs,
+            jobs=jobs,
+            source=composition,
+            streaming=True,
+        )
+    catalog, trace = composition.realise()
+    return compare_policies(
+        catalog,
+        trace,
+        cache_fraction=fraction,
+        cache_capacity=cache_capacity,
+        specs=specs,
         jobs=jobs,
     )

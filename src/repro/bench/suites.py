@@ -163,6 +163,19 @@ SUITES: Dict[str, Tuple[BenchCase, ...]] = {
             policies=("nocache", "replica"),
             streaming=True,
         ),
+        _case(
+            "cache-adversary-500k",
+            "streaming eviction-busting adversary replay at a tight cache",
+            overrides={
+                "workload_model": "cache_adversary",
+                "query_count": 250_000,
+                "update_count": 250_000,
+                "sample_every": 5_000,
+            },
+            policies=("vcover", "nocache"),
+            cache_fraction=0.1,
+            streaming=True,
+        ),
     ),
 }
 

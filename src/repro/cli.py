@@ -21,6 +21,11 @@ Registry-driven subcommands:
 ``scenario run <file>``
     Run a scenario file against several policies and print the comparison.
 
+``ingest <file>``
+    Read a CSV/JSONL/parquet query log, fit the scenario knobs to it
+    (Zipf exponent, query/update mix, phase boundaries, tolerance mix) and
+    write the calibrated, replayable scenario JSON.
+
 Classic workflows (all re-expressed over the facade):
 
 ``generate-trace``
@@ -69,6 +74,7 @@ from repro.sim.results import ComparisonResult
 from repro.sim.runner import default_policy_specs, run_policy
 from repro.sim.sweep import PointResult, SweepPoint, SweepRunner
 from repro.topology.spec import TopologySpec
+from repro.workload.ingest import IngestError
 from repro.workload.partition import PARTITION_STRATEGIES
 from repro.workload.trace import Trace
 
@@ -226,6 +232,21 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     _print_comparison(comparison)
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    try:
+        spec, calibration = api.ingest_scenario(args.file, name=args.name)
+    except IngestError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out = args.out if args.out is not None else Path(f"{Path(args.file).stem}.scenario.json")
+    api.save_scenario(spec, out)
+    print(f"ingested {args.file} -> scenario {spec.name!r}")
+    print(calibration.report())
+    print(f"wrote {out}")
+    print(f"replay with: repro scenario run {out} --streaming")
     return 0
 
 
@@ -511,6 +532,17 @@ def build_parser() -> argparse.ArgumentParser:
                               help="worker processes for the per-policy runs "
                                    "(default: 1)")
     scenario_run.set_defaults(handler=_cmd_scenario_run)
+
+    ingest = subparsers.add_parser(
+        "ingest", help="calibrate a scenario from a CSV/JSONL/parquet query log"
+    )
+    ingest.add_argument("file", type=Path, help="query log file path")
+    ingest.add_argument("--out", type=Path, default=None,
+                        help="output scenario JSON path "
+                             "(default: <log stem>.scenario.json)")
+    ingest.add_argument("--name", default=None,
+                        help="scenario name (default: the log file stem)")
+    ingest.set_defaults(handler=_cmd_ingest)
 
     generate = subparsers.add_parser(
         "generate-trace", help="generate an SDSS-style trace and write it as JSONL"

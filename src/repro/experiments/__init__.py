@@ -23,6 +23,7 @@ from repro.experiments import (
     fig7b,
     fig8a,
     fig8b,
+    fuzzed,
     headline,
     multisite,
     scenarios,
@@ -61,6 +62,7 @@ __all__ = [
     "fig7b",
     "fig8a",
     "fig8b",
+    "fuzzed",
     "headline",
     "multisite",
     "scenarios",

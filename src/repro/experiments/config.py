@@ -24,6 +24,7 @@ from repro.repository.catalog import DEFAULT_SCALE, PAPER_SERVER_SIZE_MB, sdss_c
 from repro.repository.objects import ObjectCatalog
 from repro.workload.mixer import interleave
 from repro.workload.scenarios import (
+    CacheAdversaryStream,
     DiurnalStream,
     FlashCrowdStream,
     ScenarioModelStream,
@@ -35,7 +36,13 @@ from repro.workload.trace import Trace, TraceStream
 from repro.workload.updates import SurveyUpdateGenerator, UpdateWorkloadConfig
 
 #: The workload models build_scenario/build_scenario_stream can produce.
-WORKLOAD_MODELS = ("evolving", "flash_crowd", "diurnal", "update_storm")
+WORKLOAD_MODELS = (
+    "evolving",
+    "flash_crowd",
+    "diurnal",
+    "update_storm",
+    "cache_adversary",
+)
 
 
 @dataclass
@@ -81,6 +88,10 @@ class ExperimentConfig:
     seed: int = 7
 
     # Query workload shape.
+    #: Zipf skew of hotspot access inside focus blocks (shared by the
+    #: evolving hotspot model and every scenario-diversity model; the trace
+    #: ingestion calibration pass fits this to real logs).
+    zipf_exponent: float = 1.2
     hotspot_focus_size: int = 8
     hotspot_phase_length: int = 2000
     hotspot_drift: float = 0.15
@@ -117,6 +128,13 @@ class ExperimentConfig:
     storm_length: int = 300
     storm_width: int = 4
     storm_cost_factor: float = 3.0
+    # Cache-adversary model: eviction-busting cyclic/scan access patterns.
+    #: Working-set size as a multiple of the cache capacity; > 1 keeps the
+    #: cycled set just past capacity, the LRU/GDS worst case.
+    adversary_working_set_factor: float = 1.25
+    #: Probability a query starts a full sequential scan of the catalogue
+    #: (cache pollution) instead of continuing the cycle.
+    adversary_scan_probability: float = 0.05
 
     def __post_init__(self) -> None:
         if self.object_count <= 0:
@@ -129,6 +147,59 @@ class ExperimentConfig:
             raise ValueError(
                 f"unknown workload_model {self.workload_model!r}; "
                 f"known models: {', '.join(WORKLOAD_MODELS)}"
+            )
+        self._check_model_knobs()
+
+    def _check_model_knobs(self) -> None:
+        """Range-check the scenario-model knobs at the config boundary.
+
+        The model streams re-validate in their own ``__post_init__``, but a
+        config is often built far from where the stream is (scenario files,
+        ``--set`` overrides, fuzz draws); failing here keeps the offending
+        key and value in the error instead of a deep build-time traceback.
+        """
+        positive = (
+            "zipf_exponent",
+            "storm_length",
+            "storm_width",
+            "storm_cost_factor",
+            "diurnal_cycles",
+            "adversary_working_set_factor",
+        )
+        for name in positive:
+            if getattr(self, name) <= 0:
+                raise ValueError(
+                    f"{name} must be positive, got {getattr(self, name)!r}"
+                )
+        non_negative = ("flash_crowd_count", "storm_count")
+        for name in non_negative:
+            if getattr(self, name) < 0:
+                raise ValueError(
+                    f"{name} must be non-negative, got {getattr(self, name)!r}"
+                )
+        unit_closed_open = (
+            "flash_crowd_arrival",
+            "diurnal_amplitude",
+        )
+        for name in unit_closed_open:
+            if not 0.0 <= getattr(self, name) < 1.0:
+                raise ValueError(
+                    f"{name} must lie in [0, 1), got {getattr(self, name)!r}"
+                )
+        if not 0.0 < self.flash_crowd_duration <= 1.0:
+            raise ValueError(
+                f"flash_crowd_duration must lie in (0, 1], "
+                f"got {self.flash_crowd_duration!r}"
+            )
+        if not 0.0 <= self.flash_crowd_intensity <= 1.0:
+            raise ValueError(
+                f"flash_crowd_intensity must lie in [0, 1], "
+                f"got {self.flash_crowd_intensity!r}"
+            )
+        if not 0.0 <= self.adversary_scan_probability <= 1.0:
+            raise ValueError(
+                f"adversary_scan_probability must lie in [0, 1], "
+                f"got {self.adversary_scan_probability!r}"
             )
 
     @property
@@ -227,6 +298,7 @@ def _query_workload_config(
         focus_size=config.hotspot_focus_size,
         focus_probability=config.hotspot_focus_probability,
         drift=config.hotspot_drift,
+        zipf_exponent=config.zipf_exponent,
         flare_probability=config.flare_probability,
         flare_phase_length=config.flare_phase_length,
         flare_focus_size=config.flare_focus_size,
@@ -269,6 +341,7 @@ def build_model_stream(
         mean_update_cost=mean_update_cost,
         tolerant_fraction=config.tolerant_fraction,
         tolerance_window=config.tolerance_window,
+        zipf_exponent=config.zipf_exponent,
         seed=config.seed,
     )
     if config.workload_model == "flash_crowd":
@@ -292,6 +365,16 @@ def build_model_stream(
             storm_length=config.storm_length,
             storm_width=config.storm_width,
             storm_cost_factor=config.storm_cost_factor,
+            **common,
+        )
+    if config.workload_model == "cache_adversary":
+        return CacheAdversaryStream(
+            working_set_bytes=(
+                server_size
+                * config.cache_fraction
+                * config.adversary_working_set_factor
+            ),
+            scan_probability=config.adversary_scan_probability,
             **common,
         )
     raise ValueError(

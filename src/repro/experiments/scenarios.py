@@ -9,7 +9,9 @@ experiments compare the policy set under the scenario models of
 
 * ``flash_crowd`` -- sudden hotspot migration,
 * ``diurnal`` -- day/night load cycles with anti-phase update traffic,
-* ``update_storm`` -- correlated update bursts on the cached hotspot.
+* ``update_storm`` -- correlated update bursts on the cached hotspot,
+* ``cache_adversary`` -- eviction-busting cyclic/scan access sized just
+  past the cache capacity.
 
 All three run their grid points with ``streaming=True`` by default: the
 workers replay the lazily-generated model streams directly, demonstrating
@@ -182,3 +184,24 @@ def _update_storm_grid(
     config: ExperimentConfig, knobs: Mapping[str, object]
 ) -> ExperimentGrid:
     return _model_grid("update_storm", config, knobs)
+
+
+@register_experiment(
+    name="cache_adversary",
+    title="Cache-adversary workload: eviction-busting cyclic scans",
+    paper_ref="beyond the paper",
+    description=(
+        "Compares the policy set under a cyclic working set sized just past "
+        "the cache capacity, punctured by sequential catalogue scans -- the "
+        "recency-eviction worst case; replayed through the streaming trace "
+        "pipeline."
+    ),
+    config=ExperimentConfig(workload_model="cache_adversary"),
+    knobs={"policies": DEFAULT_POLICIES, "streaming": True},
+    summarise=_summarise,
+    format_result=format_report,
+)
+def _cache_adversary_grid(
+    config: ExperimentConfig, knobs: Mapping[str, object]
+) -> ExperimentGrid:
+    return _model_grid("cache_adversary", config, knobs)

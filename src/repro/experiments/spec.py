@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Dict, Mapping, Tuple, Union
 
 from repro.experiments.config import (
+    WORKLOAD_MODELS,
     ExperimentConfig,
     Scenario,
     build_scenario,
@@ -179,6 +180,14 @@ def config_from_mapping(knobs: Mapping[str, object]) -> ExperimentConfig:
             if not isinstance(value, str):
                 raise ScenarioError(
                     f"scenario knob {key!r} must be a string, got {value!r}"
+                )
+            if key == "workload_model" and value not in WORKLOAD_MODELS:
+                # Report the offending key *and* value at the boundary
+                # instead of letting ExperimentConfig's ValueError surface
+                # as a generic "invalid scenario config" wrapper.
+                raise ScenarioError(
+                    f"unknown workload_model {value!r} for scenario knob "
+                    f"{key!r}; known models: {', '.join(WORKLOAD_MODELS)}"
                 )
         elif isinstance(value, bool) or not isinstance(value, (int, float)):
             raise ScenarioError(

@@ -20,6 +20,10 @@ shapes, each a lazily-generated, single-pass, constant-memory
   query workload punctured by bursts of updates that hammer one contiguous
   sky block -- half the time the block the queries are focused on, which
   invalidates exactly the objects worth caching.
+* :class:`CacheAdversaryStream` -- **eviction-busting cyclic scans**: the
+  query stream cycles round-robin over a working set sized just past the
+  cache capacity, the classic LRU-killer, with occasional sequential scans
+  marching across the whole catalogue to flush whatever did stick.
 
 Unlike the evolving model, the per-event costs here are computed *directly*
 (a mean-normalised log-normal wobble around an analytic mean), so no
@@ -46,7 +50,7 @@ from repro.workload.sdss import contiguous_footprint
 from repro.workload.trace import TraceEvent, TraceStream
 
 #: Names of the scenario models this module provides, in doc order.
-MODEL_NAMES = ("flash_crowd", "diurnal", "update_storm")
+MODEL_NAMES = ("flash_crowd", "diurnal", "update_storm", "cache_adversary")
 
 
 def _zipf_weights(count: int, exponent: float) -> np.ndarray:
@@ -459,3 +463,103 @@ class UpdateStormStream(ScenarioModelStream):
         """The query focus block (the storms' favourite target)."""
         object_ids = self.catalog.object_ids
         return _block(object_ids, self._focus_start(), min(self.focus_size, len(object_ids)))
+
+
+@dataclass(frozen=True)
+class CacheAdversaryStream(ScenarioModelStream):
+    """Eviction-busting cyclic/scan access sized just past cache capacity.
+
+    The query stream cycles round-robin over a *working set* of objects
+    whose cumulative size just exceeds ``working_set_bytes`` (which callers
+    size a factor past the cache capacity).  Under a cache one notch too
+    small for the cycle, every recency-style policy faults on every access
+    -- the classic LRU-killer.  With probability ``scan_probability`` a
+    query is instead a *sequential scan* step: a contiguous
+    ``footprint_span``-object window marching through the whole catalogue,
+    flushing whatever the cache managed to keep.  Updates favour the
+    working set (so cached copies also go stale), keeping pressure on the
+    decoupling logic rather than only the eviction logic.
+    """
+
+    #: Cumulative size (MB) the cyclic working set just exceeds.  Callers
+    #: size this a factor past the cache capacity (see
+    #: ``ExperimentConfig.adversary_working_set_factor``).
+    working_set_bytes: float = 30.0
+    #: Probability a query is a sequential-scan step instead of a cycle hit.
+    scan_probability: float = 0.05
+    #: Probability an update lands inside the working set.
+    update_in_set: float = 0.7
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.working_set_bytes <= 0:
+            raise ValueError("working_set_bytes must be positive")
+        if not 0.0 <= self.scan_probability <= 1.0:
+            raise ValueError("scan_probability must lie in [0, 1]")
+        if not 0.0 <= self.update_in_set <= 1.0:
+            raise ValueError("update_in_set must lie in [0, 1]")
+
+    def _working_set(self) -> List[int]:
+        """The cyclic working set: a seeded shuffle prefix just past target.
+
+        A dedicated generator (``seed + 3``) keeps the set independent of
+        the query/update draw sequences, so the same objects are cycled on
+        every restart of the stream.
+        """
+        object_ids = list(self.catalog.object_ids)
+        rng = np.random.default_rng(self.seed + 3)
+        order = [object_ids[i] for i in rng.permutation(len(object_ids))]
+        working: List[int] = []
+        cumulative = 0.0
+        for object_id in order:
+            working.append(object_id)
+            cumulative += self.catalog.size_of(object_id)
+            if cumulative > self.working_set_bytes and len(working) >= 2:
+                break
+        return working
+
+    def _iter_queries(self) -> Iterator[Query]:
+        rng = self._query_rng()
+        object_ids = self.catalog.object_ids
+        working = self._working_set()
+        cycle_position = 0
+        scan_cursor = 0
+        for index in range(self.query_count):
+            if rng.random() < self.scan_probability:
+                # A scan step: a contiguous window marching across the sky.
+                footprint = _block(object_ids, scan_cursor, self.footprint_span)
+                scan_cursor = (scan_cursor + self.footprint_span) % len(object_ids)
+                factor = 1.0
+            else:
+                # The cycle: exactly one working-set object, strictly in order.
+                footprint = [working[cycle_position]]
+                cycle_position = (cycle_position + 1) % len(working)
+                factor = 1.0
+            cost = max(
+                self.mean_query_cost * factor * _wobble(rng, self.cost_sigma), 1e-9
+            )
+            tolerance = (
+                self.tolerance_window if rng.random() < self.tolerant_fraction else 0.0
+            )
+            yield Query(
+                query_id=index + 1,
+                object_ids=frozenset(footprint),
+                cost=cost,
+                timestamp=float(index + 1),
+                tolerance=tolerance,
+            )
+
+    def _iter_updates(self) -> Iterator[Update]:
+        rng = self._update_rng()
+        object_ids = self.catalog.object_ids
+        working = self._working_set()
+        for index in range(self.update_count):
+            if rng.random() < self.update_in_set:
+                object_id = working[int(rng.integers(0, len(working)))]
+            else:
+                object_id = int(object_ids[int(rng.integers(0, len(object_ids)))])
+            yield self._draw_update(rng, index + 1, index, object_id, 1.0)
+
+    def update_region(self) -> List[int]:
+        """The cyclic working set (where the update stream concentrates)."""
+        return self._working_set()

@@ -2,12 +2,34 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck
+from hypothesis import settings as hypothesis_settings
 
 from repro.network.link import NetworkLink
+
+# Hypothesis profiles: "ci" is the quick default every run uses; "fuzz" is
+# the heavy profile the nightly/main-only CI job selects via
+# HYPOTHESIS_PROFILE=fuzz.  Tests that pin max_examples in their own
+# @settings keep their pinned budget; the fuzzer properties deliberately
+# leave it to the profile so the heavy job searches much deeper.
+hypothesis_settings.register_profile(
+    "ci",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+hypothesis_settings.register_profile(
+    "fuzz",
+    max_examples=250,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 from repro.repository.objects import DataObject, ObjectCatalog
 from repro.repository.queries import Query
 from repro.repository.server import Repository

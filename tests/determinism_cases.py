@@ -30,6 +30,9 @@ from repro.topology.spec import TopologySpec
 #: Where the recorded seed payloads live.
 FIXTURE_DIR = Path(__file__).parent / "fixtures" / "determinism"
 
+#: The committed sample query log the ingested-scenario fixture calibrates.
+SAMPLE_LOG = Path(__file__).parent.parent / "examples" / "logs" / "sdss_day.csv"
+
 #: All five paper policies, in the order the fixtures record them.
 POLICIES = ("nocache", "replica", "benefit", "vcover", "soptimal")
 
@@ -135,9 +138,28 @@ def flashcrowd_payloads(jobs: int = 1, streaming: bool = False) -> Dict[str, obj
     return {name: comparison[name].as_payload() for name in POLICIES}
 
 
+def ingested_payloads(jobs: int = 1, streaming: bool = False) -> Dict[str, object]:
+    """Per-policy payloads for the scenario calibrated from the sample log.
+
+    The whole ingest pipeline is pinned here: reading the committed CSV,
+    fitting the scenario knobs, and replaying the emitted spec.  As with the
+    flash-crowd case, one fixture covers both the materialised and the
+    streaming replay path.
+    """
+    from repro.workload.ingest import ingest_scenario
+
+    spec, _ = ingest_scenario(SAMPLE_LOG, name="determinism-ingested")
+    spec = spec.scaled(sample_every=200)
+    comparison = api.run_scenario(
+        spec, policies=POLICIES, jobs=jobs, streaming=streaming
+    )
+    return {name: comparison[name].as_payload() for name in POLICIES}
+
+
 #: Fixture name -> capture function, shared by the generator and the tests.
 CASES = {
     "headline": headline_payloads,
     "multisite": multisite_payloads,
     "flashcrowd": flashcrowd_payloads,
+    "ingested": ingested_payloads,
 }

@@ -21,8 +21,10 @@ from repro.experiments.registry import (
 #: Every experiment the paper reproduction registers.
 EXPECTED_EXPERIMENTS = {
     "ablations",
+    "cache_adversary",
     "cache_size",
     "diurnal",
+    "fuzzed",
     "fig7a",
     "fig7b",
     "fig8a",

@@ -27,6 +27,7 @@ from tests.determinism_cases import (
     canonical,
     flashcrowd_payloads,
     headline_payloads,
+    ingested_payloads,
     multisite_payloads,
 )
 
@@ -107,6 +108,31 @@ class TestFlashCrowdScenario:
 
     def test_fixture_covers_all_policies(self):
         payload = json.loads(recorded("flashcrowd"))
+        assert set(payload) == set(POLICIES)
+        assert payload["vcover"]["total_traffic"] > 0
+
+
+class TestIngestedScenario:
+    """The ingest pipeline's determinism anchor.
+
+    The fixture pins the payloads of the scenario *calibrated from the
+    committed sample log*: a drift in the CSV reader, the id mapping, any
+    calibration fit, or the replay of the emitted spec shows up as a byte
+    difference.  Both replay paths must reproduce it, serial and parallel.
+    """
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_materialised_payloads_byte_identical(self, jobs):
+        assert canonical(ingested_payloads(jobs=jobs)) == recorded("ingested")
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_streaming_payloads_byte_identical(self, jobs):
+        assert canonical(
+            ingested_payloads(jobs=jobs, streaming=True)
+        ) == recorded("ingested")
+
+    def test_fixture_covers_all_policies(self):
+        payload = json.loads(recorded("ingested"))
         assert set(payload) == set(POLICIES)
         assert payload["vcover"]["total_traffic"] > 0
 

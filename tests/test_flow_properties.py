@@ -27,55 +27,13 @@ from repro.flow.maxflow import solve_max_flow
 from repro.flow.vertex_cover import (
     SINK,
     SOURCE,
-    BipartiteCoverInstance,
     brute_force_min_cover,
     build_cover_network,
     min_weight_vertex_cover,
 )
 from repro.repository.queries import Query
 from repro.repository.updates import Update
-
-# ----------------------------------------------------------------------
-# Strategies
-# ----------------------------------------------------------------------
-#: Weights on a 0.25 quantum: exactly representable, so optimal covers are
-#: separated by at least 0.25 and never decided by float noise.
-weight = st.integers(min_value=1, max_value=64).map(lambda n: n / 4.0)
-
-
-@st.composite
-def cover_instances(draw):
-    """A small random weighted bipartite cover instance."""
-    left_count = draw(st.integers(min_value=1, max_value=5))
-    right_count = draw(st.integers(min_value=1, max_value=5))
-    left_weights = {f"q{i}": draw(weight) for i in range(left_count)}
-    right_weights = {f"u{j}": draw(weight) for j in range(right_count)}
-    all_edges = [(left, right) for left in left_weights for right in right_weights]
-    chosen = draw(
-        st.lists(st.sampled_from(all_edges), unique=True, max_size=len(all_edges))
-    )
-    return BipartiteCoverInstance.from_iterables(left_weights, right_weights, chosen)
-
-
-@st.composite
-def flow_networks(draw):
-    """A small random capacitated digraph with designated source and sink."""
-    vertex_count = draw(st.integers(min_value=2, max_value=7))
-    pairs = [
-        (tail, head)
-        for tail in range(vertex_count)
-        for head in range(vertex_count)
-        if tail != head
-    ]
-    edges = draw(
-        st.lists(st.sampled_from(pairs), unique=True, min_size=1, max_size=14)
-    )
-    network = FlowNetwork()
-    for vertex in range(vertex_count):
-        network.add_vertex(vertex)
-    for tail, head in edges:
-        network.add_edge(tail, head, draw(weight))
-    return network, 0, vertex_count - 1
+from tests.strategies import cover_instances, flow_networks, graph_ops
 
 
 # ----------------------------------------------------------------------
@@ -149,18 +107,6 @@ def test_property_cover_contains_no_isolated_vertices(instance):
 # ----------------------------------------------------------------------
 # InteractionGraph incidence consistency
 # ----------------------------------------------------------------------
-#: One random operation of the interaction-graph driver.
-graph_ops = st.lists(
-    st.tuples(
-        st.sampled_from(["query", "update", "drop"]),
-        st.floats(min_value=0.25, max_value=16.0, allow_nan=False),
-        st.lists(st.integers(min_value=0, max_value=30), max_size=4),
-    ),
-    min_size=1,
-    max_size=40,
-)
-
-
 def _check_incidence_consistency(graph: InteractionGraph) -> None:
     """The incidence maps must stay symmetric and reference only active keys."""
     active_updates = set(graph._active_update_keys.values())

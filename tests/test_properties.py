@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import pytest
 from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
 
 from repro.core.offline import OfflineDecoupler
 from repro.core.update_manager import UpdateManager
@@ -21,53 +20,8 @@ from repro.repository.objects import ObjectCatalog
 from repro.repository.queries import Query
 from repro.repository.server import Repository
 from repro.repository.updates import Update
-from repro.workload.trace import QueryEvent, Trace, UpdateEvent
-
-
-# ----------------------------------------------------------------------
-# Strategies
-# ----------------------------------------------------------------------
-def event_stream(max_objects: int = 4, max_events: int = 40):
-    """A random interleaved stream of (kind, object ids, cost) tuples."""
-    event = st.tuples(
-        st.sampled_from(["query", "update"]),
-        st.lists(st.integers(min_value=1, max_value=max_objects), min_size=1, max_size=3),
-        st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
-        st.sampled_from([0.0, 0.0, 5.0]),  # tolerance (mostly strict)
-    )
-    return st.lists(event, min_size=1, max_size=max_events)
-
-
-def build_trace(raw_events):
-    """Convert a raw strategy output into a Trace."""
-    events = []
-    for index, (kind, object_ids, cost, tolerance) in enumerate(raw_events):
-        timestamp = float(index + 1)
-        if kind == "query":
-            events.append(
-                QueryEvent(
-                    Query(
-                        query_id=index,
-                        object_ids=frozenset(object_ids),
-                        cost=cost,
-                        timestamp=timestamp,
-                        tolerance=tolerance,
-                    )
-                )
-            )
-        else:
-            events.append(
-                UpdateEvent(
-                    Update(
-                        update_id=index,
-                        object_id=object_ids[0],
-                        cost=cost,
-                        timestamp=timestamp,
-                    )
-                )
-            )
-    return Trace(events)
-
+from repro.workload.trace import Trace, UpdateEvent
+from tests.strategies import build_trace, event_stream
 
 CATALOG = ObjectCatalog.from_sizes({1: 20.0, 2: 30.0, 3: 40.0, 4: 50.0})
 

@@ -49,6 +49,32 @@ class TestScenarioSpec:
         with pytest.raises(ScenarioError, match="query_count"):
             ScenarioSpec.from_dict({"query_count": "lots"})
 
+    def test_unknown_workload_model_reports_key_value_and_choices(self):
+        # The boundary error must carry everything needed to fix the file:
+        # the offending knob name, the bad value, and the known models.
+        with pytest.raises(ScenarioError) as excinfo:
+            ScenarioSpec.from_dict({"workload_model": "tsunami"})
+        message = str(excinfo.value)
+        assert "'workload_model'" in message
+        assert "'tsunami'" in message
+        assert "cache_adversary" in message and "flash_crowd" in message
+
+    def test_non_string_workload_model_reports_key_and_value(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            ScenarioSpec.from_dict({"workload_model": 3})
+        message = str(excinfo.value)
+        assert "'workload_model'" in message
+        assert "must be a string" in message
+        assert "3" in message
+
+    def test_invalid_model_knob_value_reports_key_and_value(self):
+        # Out-of-range values for the model knobs surface the knob name and
+        # the rejected value through the config validator.
+        with pytest.raises(ScenarioError, match="adversary_scan_probability.*2.0"):
+            ScenarioSpec.from_dict({"adversary_scan_probability": 2.0})
+        with pytest.raises(ScenarioError, match="zipf_exponent.*-1.0"):
+            ScenarioSpec.from_dict({"zipf_exponent": -1.0})
+
     def test_float_for_integer_knob_rejected(self):
         # 200.5 events would pass a bare numeric check and explode deep in
         # trace generation; the validator must catch it at the boundary.

@@ -11,16 +11,20 @@ from __future__ import annotations
 import json
 
 import pytest
+from hypothesis import given
 
 from repro import api
 from repro.experiments.config import ExperimentConfig, build_scenario
 from repro.experiments.spec import ScenarioError, ScenarioSpec, load_scenario
 from repro.repository.catalog import sdss_catalog
+from repro.workload.fuzz import STREAM_CLASSES, check_stream_invariants
 from repro.workload.scenarios import (
+    CacheAdversaryStream,
     DiurnalStream,
     FlashCrowdStream,
     UpdateStormStream,
 )
+from tests.strategies import segment_specs
 
 
 @pytest.fixture(scope="module")
@@ -223,6 +227,88 @@ class TestUpdateStormModel:
             assert {u.object_id for u in updates[start:stop]} <= focus
 
 
+class TestCacheAdversaryModel:
+    def _stream(self, catalog, **overrides):
+        kwargs = dict(
+            catalog=catalog,
+            query_count=600,
+            update_count=600,
+            mean_query_cost=1.0,
+            mean_update_cost=1.0,
+            seed=9,
+            working_set_bytes=0.15 * catalog.total_size,
+        )
+        kwargs.update(overrides)
+        return CacheAdversaryStream(**kwargs)
+
+    def test_working_set_just_exceeds_the_requested_bytes(self, catalog):
+        stream = self._stream(catalog)
+        working = stream._working_set()
+        sizes = [catalog.size_of(oid) for oid in working]
+        assert sum(sizes) > stream.working_set_bytes
+        # "Just" past: dropping the last member falls back under the target
+        # (unless the two-object floor is what kept it).
+        assert len(working) >= 2
+        if len(working) > 2:
+            assert sum(sizes[:-1]) <= stream.working_set_bytes
+
+    def test_cycle_is_strict_round_robin_over_the_working_set(self, catalog):
+        stream = self._stream(catalog, scan_probability=0.0, update_count=0)
+        working = stream._working_set()
+        queries = list(stream.queries())
+        for index, query in enumerate(queries):
+            assert query.object_ids == frozenset(
+                {working[index % len(working)]}
+            )
+
+    def test_scans_march_beyond_the_working_set(self, catalog):
+        stream = self._stream(catalog, scan_probability=1.0, update_count=0)
+        touched = set()
+        for query in stream.queries():
+            assert len(query.object_ids) == stream.footprint_span
+            touched |= query.object_ids
+        # A pure scan sweeps the whole catalogue, not just the hot cycle.
+        assert touched == set(catalog.object_ids)
+
+    def test_updates_concentrate_on_the_working_set(self, catalog):
+        stream = self._stream(catalog, query_count=0, update_in_set=1.0)
+        region = set(stream.update_region())
+        assert region == set(stream._working_set())
+        assert all(u.object_id in region for u in stream.updates())
+
+    def test_validators_reject_bad_knobs(self, catalog):
+        with pytest.raises(ValueError, match="working_set_bytes"):
+            self._stream(catalog, working_set_bytes=0.0)
+        with pytest.raises(ValueError, match="scan_probability"):
+            self._stream(catalog, scan_probability=1.5)
+        with pytest.raises(ValueError, match="update_in_set"):
+            self._stream(catalog, update_in_set=-0.1)
+
+
+#: Module-scoped so the hypothesis property below can reuse one catalogue.
+INVARIANT_CATALOG = sdss_catalog(object_count=32, scale=0.001, seed=17)
+
+
+@given(segment=segment_specs(max_events=60))
+def test_property_every_model_stream_holds_the_trace_invariants(segment):
+    """Any model under any valid knobs yields a structurally sound stream.
+
+    This is the per-model form of the composition invariants the fuzzer
+    suite checks: driven by the shared ``segment_specs`` strategy, so the
+    knob ranges widen in one place for both suites.
+    """
+    stream = STREAM_CLASSES[segment.model](
+        catalog=INVARIANT_CATALOG,
+        query_count=segment.query_count,
+        update_count=segment.update_count,
+        mean_query_cost=2.0,
+        mean_update_cost=2.0,
+        seed=11,
+        **dict(segment.knobs),
+    )
+    check_stream_invariants(stream, INVARIANT_CATALOG)
+
+
 class TestDeclarativePlumbing:
     def test_scenario_spec_round_trips_workload_model(self, tmp_path):
         spec = ScenarioSpec.from_knobs(
@@ -255,7 +341,9 @@ class TestDeclarativePlumbing:
         assert len(scenario.trace) == 240
         assert scenario.update_region == []
 
-    @pytest.mark.parametrize("name", ["flash_crowd", "diurnal", "update_storm"])
+    @pytest.mark.parametrize(
+        "name", ["flash_crowd", "diurnal", "update_storm", "cache_adversary"]
+    )
     def test_registered_experiments_run(self, name):
         result = api.run_experiment(
             name,
