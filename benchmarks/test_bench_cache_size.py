@@ -31,7 +31,7 @@ def test_cache_size_sweep(benchmark):
     )
     print()
     print(api.format_result("cache_size", result))
-    for fraction, traffic in zip(result.fractions, result.traffic["vcover"]):
+    for fraction, traffic in zip(result.fractions, result.traffic["vcover"], strict=True):
         benchmark.extra_info[f"vcover_at_{int(fraction * 100)}pct"] = round(traffic, 1)
 
     nocache = result.traffic["nocache"]

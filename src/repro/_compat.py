@@ -31,5 +31,5 @@ class SlottedFrozenPickle:
         )
 
     def __setstate__(self, state: Tuple[object, ...]) -> None:
-        for name, value in zip(self.__dataclass_fields__, state):  # type: ignore[attr-defined]
+        for name, value in zip(self.__dataclass_fields__, state, strict=True):  # type: ignore[attr-defined]
             object.__setattr__(self, name, value)

@@ -22,7 +22,9 @@ signatures are kept stable:
   ``repro ingest``),
 * :func:`draw_fuzzed_scenario` / :func:`load_fuzzed_scenario` -- one seeded
   draw of the adversarial scenario fuzzer, and a saved minimal-repro file
-  read back (see :mod:`repro.workload.fuzz`).
+  read back (see :mod:`repro.workload.fuzz`),
+* :func:`run_lint` -- run the repro static analyser (determinism and
+  contract rules) over a path set (the library face of ``repro lint``).
 
 Quickstart::
 
@@ -106,6 +108,7 @@ __all__ = [
     "load_scenario",
     "run_bench",
     "run_experiment",
+    "run_lint",
     "run_scenario",
     "save_scenario",
 ]
@@ -139,6 +142,23 @@ def run_bench(suite: str = "quick", jobs: int = 1) -> dict:
     from repro.bench import run_suite
 
     return run_suite(suite, jobs=jobs)
+
+
+def run_lint(
+    paths: Sequence[Union[str, Path]] = ("src", "tests"),
+    *,
+    rule: Optional[str] = None,
+):
+    """Run the repro static analyser and return its ``LintReport``.
+
+    ``report.ok`` is True when no error-severity finding survived
+    suppression filtering; ``report.to_dict()`` is the JSON payload the
+    CLI emits under ``--format json``.  ``rule`` narrows the run to one
+    rule id.  See :mod:`repro.lint` for the rule catalogue.
+    """
+    from repro.lint import run_lint as _run_lint
+
+    return _run_lint(paths, rule=rule)
 
 
 def compare_bench(current: dict, baseline: dict, tolerance: float = 0.15):

@@ -11,7 +11,7 @@ is real -- especially on shared runners -- so tolerances should be generous
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.bench.schema import BenchSchemaError, validate_payload
 
@@ -99,7 +99,7 @@ class ComparisonReport:
         return "\n".join(lines)
 
 
-def _rows_by_key(payload: Dict[str, object]) -> Dict[Tuple[str, str], float]:
+def _rows_by_key(payload: Dict[str, Any]) -> Dict[Tuple[str, str], float]:
     rows: Dict[Tuple[str, str], float] = {}
     for case in payload["cases"]:
         for row in case["policies"]:
@@ -108,8 +108,8 @@ def _rows_by_key(payload: Dict[str, object]) -> Dict[Tuple[str, str], float]:
 
 
 def compare_payloads(
-    current: Dict[str, object],
-    baseline: Dict[str, object],
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
     tolerance: float = DEFAULT_TOLERANCE,
 ) -> ComparisonReport:
     """Compare two schema-valid payloads row by row.

@@ -25,7 +25,7 @@ import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro import __version__
 from repro.bench.schema import SCHEMA_ID, validate_payload
@@ -71,7 +71,27 @@ def current_git_sha() -> Optional[str]:
     return sha if completed.returncode == 0 and sha else None
 
 
-def _run_case(case: BenchCase) -> Dict[str, object]:
+def lint_clean() -> Optional[bool]:
+    """Whether the working tree passes ``repro lint src tests``, or None.
+
+    Recorded into bench payloads so a perf number can never be mistaken
+    for a number measured on a tree that violates the determinism or
+    hot-path contracts (an unslotted record class, say, would directly
+    skew memory and timing).  None outside a source checkout.
+    """
+    try:
+        from repro.lint import find_project_root, run_lint
+
+        root = find_project_root(Path(__file__).resolve())
+        paths = [path for path in (root / "src", root / "tests") if path.is_dir()]
+        if not paths:
+            return None
+        return run_lint(paths, root=root).ok
+    except Exception:  # pragma: no cover - best-effort provenance only
+        return None
+
+
+def _run_case(case: BenchCase) -> Dict[str, Any]:
     """Time one case; runs inside a worker process when ``jobs > 1``."""
     config = case.config()
     build_start = time.perf_counter()
@@ -104,7 +124,7 @@ def _run_case(case: BenchCase) -> Dict[str, object]:
     )
 
     events = len(trace)
-    policy_rows: List[Dict[str, object]] = []
+    policy_rows: List[Dict[str, Any]] = []
     for spec in specs:
         best: Optional[float] = None
         run = None
@@ -149,8 +169,8 @@ def _run_case(case: BenchCase) -> Dict[str, object]:
 def run_suite(
     suite: Union[str, Sequence[BenchCase]] = "quick",
     jobs: int = 1,
-    progress=None,
-) -> Dict[str, object]:
+    progress: Optional[Callable[[int, int, Dict[str, Any]], None]] = None,
+) -> Dict[str, Any]:
     """Run a suite and return the schema-valid result payload.
 
     Parameters
@@ -167,7 +187,7 @@ def run_suite(
     cases = get_suite(suite) if isinstance(suite, str) else tuple(suite)
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
-    case_results: List[Dict[str, object]] = []
+    case_results: List[Dict[str, Any]] = []
     if jobs == 1 or len(cases) <= 1:
         for done, case in enumerate(cases, start=1):
             result = _run_case(case)
@@ -188,11 +208,12 @@ def run_suite(
     total_events = sum(
         case["events"] * len(case["policies"]) for case in case_results
     )
-    payload: Dict[str, object] = {
+    payload: Dict[str, Any] = {
         "schema": SCHEMA_ID,
         "suite": suite if isinstance(suite, str) else "custom",
         "created_unix": time.time(),
         "git_sha": current_git_sha(),
+        "lint_clean": lint_clean(),
         "repro_version": __version__,
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -212,21 +233,21 @@ def run_suite(
     return payload
 
 
-def write_payload(payload: Dict[str, object], path: Union[str, Path]) -> Path:
+def write_payload(payload: Dict[str, Any], path: Union[str, Path]) -> Path:
     """Write a payload as pretty JSON (stable key order) and return the path."""
     path = Path(path)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     return path
 
 
-def load_payload(path: Union[str, Path]) -> Dict[str, object]:
+def load_payload(path: Union[str, Path]) -> Dict[str, Any]:
     """Read and schema-check a payload file."""
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
     validate_payload(payload)
     return payload
 
 
-def format_payload(payload: Dict[str, object]) -> str:
+def format_payload(payload: Dict[str, Any]) -> str:
     """Human-readable summary table of one payload."""
     lines = [
         f"suite {payload['suite']}  "
@@ -247,4 +268,7 @@ def format_payload(payload: Dict[str, object]) -> str:
         f"{totals['events_per_s']:>12.0f} {'':>12}"
     )
     lines.append(f"peak RSS: {payload['peak_rss_mb']:.1f} MB")
+    lint = payload.get("lint_clean")
+    if lint is not None:
+        lines.append(f"lint clean: {'yes' if lint else 'NO'}")
     return "\n".join(lines)

@@ -9,7 +9,7 @@ path-qualified message on the first violation it finds.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple, Union
 
 #: Identifier embedded in every payload; comparison refuses mixed schemas.
 SCHEMA_ID = "repro.bench/v1"
@@ -19,10 +19,12 @@ class BenchSchemaError(ValueError):
     """A bench payload does not match the expected schema."""
 
 
+_FieldType = Union[type, Tuple[type, ...]]
+
 _NUMBER = (int, float)
 
 #: Required top-level fields and their types (None = nullable string).
-_TOP_FIELDS = {
+_TOP_FIELDS: Dict[str, _FieldType] = {
     "schema": str,
     "suite": str,
     "created_unix": _NUMBER,
@@ -34,14 +36,14 @@ _TOP_FIELDS = {
     "cases": list,
 }
 
-_TOTALS_FIELDS = {
+_TOTALS_FIELDS: Dict[str, _FieldType] = {
     "wall_clock_s": _NUMBER,
     "policy_runs": int,
     "events": int,
     "events_per_s": _NUMBER,
 }
 
-_CASE_FIELDS = {
+_CASE_FIELDS: Dict[str, _FieldType] = {
     "name": str,
     "description": str,
     "events": int,
@@ -54,7 +56,7 @@ _CASE_FIELDS = {
     "policies": list,
 }
 
-_POLICY_FIELDS = {
+_POLICY_FIELDS: Dict[str, _FieldType] = {
     "policy": str,
     "wall_clock_s": _NUMBER,
     "events": int,
@@ -64,7 +66,7 @@ _POLICY_FIELDS = {
 }
 
 
-def _check_fields(mapping: object, fields: Dict[str, object], where: str) -> None:
+def _check_fields(mapping: object, fields: Dict[str, _FieldType], where: str) -> None:
     if not isinstance(mapping, dict):
         raise BenchSchemaError(f"{where}: expected an object, got {type(mapping).__name__}")
     for key, expected in fields.items():
@@ -95,6 +97,11 @@ def validate_payload(payload: object) -> None:
     sha = payload.get("git_sha")
     if sha is not None and not isinstance(sha, str):
         raise BenchSchemaError("payload.git_sha: expected a string or null")
+    # Optional (absent in payloads recorded before the linter existed):
+    # whether `repro lint src tests` was clean when the run was recorded.
+    lint_clean = payload.get("lint_clean")
+    if lint_clean is not None and not isinstance(lint_clean, bool):
+        raise BenchSchemaError("payload.lint_clean: expected a boolean or null")
     _check_fields(payload["totals"], _TOTALS_FIELDS, "payload.totals")
     cases = payload["cases"]
     if not cases:

@@ -24,7 +24,7 @@ Three suites ship by default:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.experiments.config import ExperimentConfig
 
@@ -77,7 +77,7 @@ class BenchCase:
         return ExperimentConfig().scaled(**dict(self.overrides))
 
 
-def _case(name: str, description: str, /, **kwargs) -> BenchCase:
+def _case(name: str, description: str, /, **kwargs: Any) -> BenchCase:
     overrides = tuple(sorted(kwargs.pop("overrides", {}).items()))
     return BenchCase(name=name, description=description, overrides=overrides, **kwargs)
 

@@ -14,7 +14,7 @@ internal bookkeeping.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 
 class PolicyIntrospectionError(KeyError):
@@ -91,7 +91,7 @@ class PolicyRegistry:
             raise ValueError(f"policy {name!r} already registered")
         self._factories[name] = factory
 
-    def create(self, name: str, **kwargs) -> EvictionPolicy:
+    def create(self, name: str, **kwargs: Any) -> EvictionPolicy:
         """Instantiate a registered policy."""
         try:
             factory = self._factories[name]

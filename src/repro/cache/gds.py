@@ -80,7 +80,8 @@ class GreedyDualSize(EvictionPolicy):
                 continue
             return object_id
         # Heap exhausted (all entries stale); fall back to a linear scan.
-        candidates = [oid for oid in resident_set if oid in self._credits]
+        # Sorted so equal-credit ties break on object id, not set order.
+        candidates = [oid for oid in sorted(resident_set) if oid in self._credits]
         if not candidates:
             return None
         return min(candidates, key=lambda oid: self._credits[oid])

@@ -49,6 +49,8 @@ class CacheStore:
         Replica yardstick assumes.
     """
 
+    __slots__ = ("_capacity", "_objects", "_used", "_loads", "_evictions")
+
     def __init__(self, capacity: float) -> None:
         if capacity < 0:
             raise ValueError(f"capacity must be non-negative, got {capacity!r}")

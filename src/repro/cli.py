@@ -53,6 +53,12 @@ Classic workflows (all re-expressed over the facade):
     machine-readable result JSON (``--out``), and/or compare a result
     against a baseline (``--compare BASELINE.json --tolerance 0.15``;
     exit code 3 when a timing regressed beyond the tolerance).
+
+``lint``
+    Run the repro static analyser over the tree (``repro lint src tests``):
+    determinism rules (DET001-DET003), contract rules (PICK001, SLOT001)
+    and registry consistency (REG001).  Exit 1 on findings, 2 on bad
+    arguments; ``--format json`` emits the machine-readable report.
 """
 
 from __future__ import annotations
@@ -405,6 +411,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if report.ok else 3
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported here so the classic subcommands never pay for rule loading.
+    from repro.lint import LintInputError, all_rules, run_lint
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:<9} [{rule.severity}] {rule.title}")
+        return 0
+
+    try:
+        report = run_lint(args.paths, rule=args.rule)
+    except LintInputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(report.format_json())
+    else:
+        output = report.format_text()
+        if output:
+            print(output)
+    return 0 if report.ok else 1
+
+
 def _cmd_topology(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
     config = spec.config
@@ -624,6 +654,28 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--list", action="store_true",
                        help="list the available suites and cases, then exit")
     bench.set_defaults(handler=_cmd_bench)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repro static analyser (determinism & contract rules)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src", "tests"], metavar="PATH",
+        help="files or directories to lint (default: src tests)",
+    )
+    lint.add_argument(
+        "--rule", default=None, metavar="ID",
+        help="narrow the run to one rule id (e.g. DET001)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="finding output format (default: text)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    lint.set_defaults(handler=_cmd_lint)
     return parser
 
 

@@ -147,8 +147,11 @@ class InteractionGraph:
         ship_updates = frozenset(key[1] for key in cover_update_keys)
 
         # Remainder pruning.
+        # Sorted: the retire order feeds the flow network's bookkeeping.
         retired_queries = [
-            key for key in self._active_query_keys if key not in cover.left_in_cover
+            key
+            for key in sorted(self._active_query_keys)
+            if key not in cover.left_in_cover
         ]
         self._flow.retire(left=retired_queries, right=list(cover_update_keys))
         self._active_query_keys.difference_update(retired_queries)
@@ -220,7 +223,11 @@ class InteractionGraph:
         influence a future cover; keeping it would only bloat the network.
         """
         edges_by_query = self._edges_by_query
-        isolated = [key for key in self._active_query_keys if not edges_by_query.get(key)]
+        isolated = [
+            key
+            for key in sorted(self._active_query_keys)
+            if not edges_by_query.get(key)
+        ]
         if not isolated:
             return
         self._flow.retire(left=isolated)

@@ -50,7 +50,7 @@ class CacheSizeSweepResult:
     def marginal_gain(self, policy: str = "vcover") -> List[float]:
         """Traffic saved by each step up in cache size (positive = helps)."""
         series = self.traffic[policy]
-        return [earlier - later for earlier, later in zip(series, series[1:])]
+        return [earlier - later for earlier, later in zip(series, series[1:], strict=False)]
 
 
 def run(

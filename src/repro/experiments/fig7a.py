@@ -92,7 +92,7 @@ def characterise_trace(trace: Trace, top: int = 6, segments: int = 8) -> Workloa
         if touched:
             segment_sets.append(touched)
     distances = []
-    for earlier, later in zip(segment_sets, segment_sets[1:]):
+    for earlier, later in zip(segment_sets, segment_sets[1:], strict=False):
         union_size = len(earlier | later)
         if union_size:
             distances.append(1.0 - len(earlier & later) / union_size)

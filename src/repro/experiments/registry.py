@@ -107,14 +107,14 @@ def _listify(value: object) -> object:
     return value
 
 
-def _hook_ref(hook: Optional[Callable]) -> Optional[str]:
+def _hook_ref(hook: Optional[Callable[..., object]]) -> Optional[str]:
     """Serialise a module-level hook as an importable ``module:qualname``."""
     if hook is None:
         return None
     return f"{hook.__module__}:{hook.__qualname__}"
 
 
-def _resolve_hook(ref: Optional[str]) -> Optional[Callable]:
+def _resolve_hook(ref: Optional[str]) -> Optional[Callable[..., object]]:
     """Import a hook back from its ``module:qualname`` reference."""
     if ref is None:
         return None

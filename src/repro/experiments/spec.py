@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, astuple, dataclass, fields, replace
 from pathlib import Path
-from typing import Dict, Mapping, Tuple, Union
+from typing import Any, Dict, Mapping, Tuple, Union
 
 from repro.experiments.config import (
     WORKLOAD_MODELS,
@@ -69,11 +69,11 @@ class ScenarioSpec(ScenarioSource):
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_knobs(cls, name: str = DEFAULT_SCENARIO_NAME, **knobs) -> "ScenarioSpec":
+    def from_knobs(cls, name: str = DEFAULT_SCENARIO_NAME, **knobs: Any) -> "ScenarioSpec":
         """A spec from individual config knobs (defaults for the rest)."""
         return cls(config=config_from_mapping(knobs), name=name)
 
-    def scaled(self, **overrides) -> "ScenarioSpec":
+    def scaled(self, **overrides: Any) -> "ScenarioSpec":
         """A copy with the given config knobs replaced."""
         return replace(self, config=self.config.scaled(**overrides))
 

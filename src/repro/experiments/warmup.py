@@ -111,7 +111,7 @@ def format_report(result: WarmupResult) -> str:
     lines = ["Warm-up behaviour (VCover)"]
     lines.append(f"configured cheap-query prefix ends at event {result.configured_warmup_end}")
     lines.append(f"occupancy reaches half its final level at event {result.warmup_knee}")
-    for (event_index, used), (_, rate) in zip(result.occupancy[::4], result.hit_rate[::4]):
+    for (event_index, used), (_, rate) in zip(result.occupancy[::4], result.hit_rate[::4], strict=False):
         lines.append(f"event {event_index:>8}: occupancy {used:>6.1%}, hit rate {rate:>6.1%}")
     return "\n".join(lines)
 

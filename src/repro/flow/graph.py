@@ -82,6 +82,8 @@ class FlowNetwork:
     relies on (Section 4 of the paper).
     """
 
+    __slots__ = ("_adjacency", "_edge_index")
+
     def __init__(self) -> None:
         self._adjacency: Dict[Vertex, List[Arc]] = {}
         self._edge_index: Dict[Tuple[Vertex, Vertex], Arc] = {}

@@ -20,6 +20,7 @@ flow is untouched.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, FrozenSet, Hashable, Iterable, Set, Tuple
 
 from repro.flow.graph import EPSILON, FlowNetwork
@@ -50,6 +51,20 @@ class IncrementalMaxFlow:
       maintenance); their arcs and flow stay in the underlying network so the
       warm start remains valid.
     """
+
+    __slots__ = (
+        "_network",
+        "_method",
+        "_left_weights",
+        "_right_weights",
+        "_edges",
+        "_retired_left",
+        "_retired_right",
+        "_active_edge_set",
+        "_left_incident",
+        "_right_incident",
+        "_augmentations",
+    )
 
     def __init__(self, method: str = "edmonds-karp") -> None:
         self._network = FlowNetwork()
@@ -208,7 +223,8 @@ class IncrementalMaxFlow:
         reachable = self._network.residual_reachable(SOURCE)
         touched_left = set()
         touched_right = set()
-        for left, right in self._active_edge_set:
+        # Populate-only fold into sets: order provably does not matter.
+        for left, right in self._active_edge_set:  # repro-lint: disable=DET003
             touched_left.add(left)
             touched_right.add(right)
         left_in_cover = frozenset(
@@ -219,7 +235,8 @@ class IncrementalMaxFlow:
         right_in_cover = frozenset(
             vertex for vertex in touched_right if ("R", vertex) in reachable
         )
-        weight = sum(self._left_weights[v] for v in left_in_cover) + sum(
+        # fsum: exact summation, so the weight is independent of set order.
+        weight = math.fsum(self._left_weights[v] for v in left_in_cover) + math.fsum(
             self._right_weights[v] for v in right_in_cover
         )
         return CoverResult(
@@ -264,19 +281,24 @@ class IncrementalMaxFlow:
             for left, right in self._edges
             if left in active_left and right in active_right
         }
+        # Arc insertion order steers the augmenting-path search, so fix it:
+        # the rebuilt network must not depend on set iteration order.
+        left_order = sorted(active_left)
+        right_order = sorted(active_right)
+        edge_order = sorted(surviving_edges)
 
         # Flow carried by surviving interaction edges, per endpoint.
-        consumed_from_left: Dict[Vertex, float] = {v: 0.0 for v in active_left}
-        consumed_into_right: Dict[Vertex, float] = {v: 0.0 for v in active_right}
+        consumed_from_left: Dict[Vertex, float] = {v: 0.0 for v in left_order}
+        consumed_into_right: Dict[Vertex, float] = {v: 0.0 for v in right_order}
         edge_flows: Dict[Tuple[Vertex, Vertex], float] = {}
-        for left, right in surviving_edges:
+        for left, right in edge_order:
             arc = old_network.get_edge(("L", left), ("R", right))
             flow = max(arc.flow, 0.0) if arc is not None else 0.0
             edge_flows[(left, right)] = flow
             consumed_from_left[left] += flow
             consumed_into_right[right] += flow
 
-        for left in active_left:
+        for left in left_order:
             source_arc = old_network.get_edge(SOURCE, ("L", left))
             total_pushed = max(source_arc.flow, 0.0) if source_arc is not None else 0.0
             kept_flow = consumed_from_left[left]
@@ -287,7 +309,7 @@ class IncrementalMaxFlow:
             assert arc.partner is not None
             arc.partner.flow = -kept_flow
             self._left_weights[left] = capacity
-        for right in active_right:
+        for right in right_order:
             sink_arc = old_network.get_edge(("R", right), SINK)
             total_received = max(sink_arc.flow, 0.0) if sink_arc is not None else 0.0
             kept_flow = consumed_into_right[right]
@@ -313,7 +335,7 @@ class IncrementalMaxFlow:
         self._active_edge_set = set(surviving_edges)
         self._left_incident = {}
         self._right_incident = {}
-        for edge in surviving_edges:
+        for edge in edge_order:
             self._left_incident.setdefault(edge[0], set()).add(edge)
             self._right_incident.setdefault(edge[1], set()).add(edge)
 

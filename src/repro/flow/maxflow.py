@@ -78,6 +78,8 @@ def edmonds_karp_max_flow(network: FlowNetwork, source: Vertex, sink: Vertex) ->
 class _DinicState:
     """Per-phase state for Dinic's algorithm (levels and arc iterators)."""
 
+    __slots__ = ("network", "source", "sink", "levels", "iter_pos")
+
     def __init__(self, network: FlowNetwork, source: Vertex, sink: Vertex) -> None:
         self.network = network
         self.source = source

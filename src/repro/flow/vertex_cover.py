@@ -24,6 +24,7 @@ returns a :class:`CoverResult`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import FrozenSet, Hashable, Iterable, Mapping, Set, Tuple
 
@@ -41,7 +42,7 @@ SOURCE = "__source__"
 SINK = "__sink__"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BipartiteCoverInstance:
     """A minimum-weight vertex-cover instance on a bipartite graph.
 
@@ -85,7 +86,7 @@ class BipartiteCoverInstance:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CoverResult:
     """Result of a minimum-weight vertex-cover computation.
 
@@ -151,7 +152,8 @@ def extract_cover_from_network(
     right_in_cover = frozenset(
         vertex for vertex in instance.right_weights if ("R", vertex) in reachable
     )
-    weight = sum(instance.left_weights[v] for v in left_in_cover) + sum(
+    # fsum: exact summation, so the weight is independent of set order.
+    weight = math.fsum(instance.left_weights[v] for v in left_in_cover) + math.fsum(
         instance.right_weights[v] for v in right_in_cover
     )
     return CoverResult(
@@ -200,7 +202,7 @@ def _drop_isolated_vertices(
     touched_right: Set[Vertex] = {right for _, right in instance.edges}
     left = frozenset(v for v in result.left_in_cover if v in touched_left)
     right = frozenset(v for v in result.right_in_cover if v in touched_right)
-    weight = sum(instance.left_weights[v] for v in left) + sum(
+    weight = math.fsum(instance.left_weights[v] for v in left) + math.fsum(
         instance.right_weights[v] for v in right
     )
     return CoverResult(
@@ -228,7 +230,7 @@ def brute_force_min_cover(instance: BipartiteCoverInstance) -> CoverResult:
             left_vertices[i] for i in range(len(left_vertices)) if mask & (1 << i)
         }
         needed_right = {right for left, right in edge_list if left not in chosen_left}
-        weight = sum(instance.left_weights[v] for v in chosen_left) + sum(
+        weight = math.fsum(instance.left_weights[v] for v in chosen_left) + math.fsum(
             instance.right_weights[v] for v in needed_right
         )
         if weight < best_weight - EPSILON:

@@ -1,0 +1,82 @@
+"""Suppression comments understood by ``repro lint``.
+
+Two comment forms opt a deliberate violation out of a rule, both carrying
+the rule ids so a suppression can never silence more than it names:
+
+* ``# repro-lint: disable=RULE[,RULE...]`` -- suppresses findings that
+  those rules report *on the same physical line* (put it on the line the
+  finding is anchored to -- for multi-line statements that is the line the
+  statement starts on);
+* ``# repro-lint: disable-file=RULE[,RULE...]`` -- suppresses the named
+  rules for the whole file (conventionally placed at the top).
+
+``disable=all`` / ``disable-file=all`` suppress every rule; use sparingly.
+Comments are discovered with :mod:`tokenize`, so a ``repro-lint:`` marker
+inside a string literal is never mistaken for a directive.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+#: Matches the directive inside a comment token.
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+#: The wildcard rule name accepted by both directive kinds.
+ALL = "all"
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-file suppression state: file-wide rules plus per-line rules."""
+
+    #: Rules disabled for the whole file (may contain :data:`ALL`).
+    file_rules: FrozenSet[str] = frozenset()
+    #: Line number -> rules disabled on that line (may contain :data:`ALL`).
+    line_rules: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is suppressed for a finding anchored at ``line``."""
+        if ALL in self.file_rules or rule in self.file_rules:
+            return True
+        at_line = self.line_rules.get(line)
+        if at_line is None:
+            return False
+        return ALL in at_line or rule in at_line
+
+
+def scan_suppressions(source: str) -> SuppressionIndex:
+    """Extract every suppression directive from ``source``.
+
+    Unparseable sources (tokenize errors) yield an empty index -- the file
+    will already be reported as a parse failure, and a suppression inside a
+    broken file cannot be trusted anyway.
+    """
+    file_rules: Set[str] = set()
+    line_rules: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(token.string)
+            if match is None:
+                continue
+            rules = {part.strip() for part in match.group("rules").split(",")}
+            if match.group("kind") == "disable-file":
+                file_rules.update(rules)
+            else:
+                line_rules.setdefault(token.start[0], set()).update(rules)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return SuppressionIndex()
+    return SuppressionIndex(
+        file_rules=frozenset(file_rules),
+        line_rules={line: frozenset(rules) for line, rules in line_rules.items()},
+    )

@@ -16,14 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional
 
+from repro._compat import SlottedFrozenPickle
+
 #: Conversion helpers; costs in this library are expressed in megabytes (MB)
 #: so the numbers stay human-readable at laptop scale.
 GB = 1024.0
 MB = 1.0
 
 
-@dataclass(frozen=True)
-class DataObject:
+@dataclass(frozen=True, slots=True)
+class DataObject(SlottedFrozenPickle):
     """A single cacheable data object (one spatial partition).
 
     Attributes
@@ -69,6 +71,8 @@ class ObjectCatalog:
     the repository, the cache, and the decision algorithms.  It offers O(1)
     lookup by id plus convenience aggregates (total size, size vector).
     """
+
+    __slots__ = ("_objects",)
 
     def __init__(self, objects: Iterable[DataObject]) -> None:
         self._objects: Dict[int, DataObject] = {}

@@ -25,6 +25,8 @@ from repro._compat import SlottedFrozenPickle
 class QueryTemplate:
     """Names of the query shapes observed in the SDSS trace (Section 6.1)."""
 
+    __slots__ = ()
+
     RANGE = "range"
     SPATIAL_JOIN = "spatial_join"
     SELECTION = "selection"
@@ -117,6 +119,8 @@ class Query(SlottedFrozenPickle):
 
 class QueryIdAllocator:
     """Hands out unique query identifiers for trace generators."""
+
+    __slots__ = ("_counter",)
 
     def __init__(self, start: int = 0) -> None:
         self._counter = itertools.count(start)

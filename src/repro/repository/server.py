@@ -33,7 +33,7 @@ from repro.repository.queries import Query
 from repro.repository.updates import Update
 
 
-@dataclass
+@dataclass(slots=True)
 class ObjectState:
     """Mutable server-side state of one data object."""
 
@@ -60,7 +60,7 @@ class ObjectState:
             self.update_log.append(update)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ObjectSnapshot:
     """An immutable snapshot handed to the cache when an object is loaded."""
 
@@ -86,6 +86,14 @@ class Repository:
         memory stays constant no matter how many updates are ingested (the
         simulation runners use this -- no policy reads the server-side log).
     """
+
+    __slots__ = (
+        "_catalog",
+        "_keep_update_log",
+        "_states",
+        "_updates_received",
+        "_queries_answered",
+    )
 
     def __init__(self, catalog: ObjectCatalog, keep_update_log: bool = True) -> None:
         self._catalog = catalog

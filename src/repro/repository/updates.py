@@ -25,6 +25,8 @@ class UpdateKind:
     substrate applies them differently.
     """
 
+    __slots__ = ()
+
     INSERT = "insert"
     MODIFY = "modify"
     DELETE = "delete"
@@ -75,6 +77,8 @@ class Update(SlottedFrozenPickle):
 
 class UpdateIdAllocator:
     """Hands out unique update identifiers for trace generators."""
+
+    __slots__ = ("_counter",)
 
     def __init__(self, start: int = 0) -> None:
         self._counter = itertools.count(start)

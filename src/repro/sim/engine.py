@@ -35,7 +35,7 @@ from repro.sim.results import RunResult
 from repro.workload.trace import TraceStream
 
 
-@dataclass
+@dataclass(slots=True)
 class EngineConfig:
     """Configuration of a simulation run."""
 
@@ -49,6 +49,8 @@ class EngineConfig:
 
 class SimulationEngine:
     """Replays traces against policies."""
+
+    __slots__ = ("_repository", "_config")
 
     def __init__(self, repository: Repository, config: Optional[EngineConfig] = None) -> None:
         self._repository = repository

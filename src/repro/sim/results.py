@@ -77,6 +77,7 @@ class RunResult:
                     self.occupancy.event_indices,
                     self.occupancy.occupancy,
                     self.occupancy.resident_objects,
+                    strict=True,
                 )
             ]
         return payload

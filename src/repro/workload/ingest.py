@@ -341,7 +341,7 @@ def _fit_zipf_exponent(access_counts: Sequence[int]) -> float:
     if denominator == 0:
         return 1.2
     slope = sum(
-        (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+        (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys, strict=True)
     ) / denominator
     return min(3.0, max(0.1, -slope))
 
@@ -373,7 +373,7 @@ def _fit_phase_length(trace: Trace, top: int = 5) -> int:
         if queries[start:start + window]
     ]
     boundaries = 0
-    for previous, current in zip(tops, tops[1:]):
+    for previous, current in zip(tops, tops[1:], strict=False):
         union = previous | current
         if not union:
             continue

@@ -228,7 +228,7 @@ class SDSSQueryGenerator:
             costs *= config.target_total_cost / costs.sum()
 
         queries: List[Query] = []
-        for (index, footprint, _, tolerance, template_name), cost in zip(drafts, costs):
+        for (index, footprint, _, tolerance, template_name), cost in zip(drafts, costs, strict=True):
             timestamp = float(timestamps[index]) if timestamps is not None else float(index + 1)
             queries.append(
                 Query(

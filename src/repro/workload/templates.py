@@ -168,4 +168,4 @@ def choose_template(
 def template_mix_summary(templates: Sequence[TemplateShape]) -> Dict[str, float]:
     """Mapping of template name to normalised weight, for reports."""
     weights = normalized_weights(templates)
-    return {template.name: float(weight) for template, weight in zip(templates, weights)}
+    return {template.name: float(weight) for template, weight in zip(templates, weights, strict=True)}

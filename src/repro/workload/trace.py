@@ -29,7 +29,7 @@ import json
 from dataclasses import dataclass
 from itertools import islice
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro._compat import SlottedFrozenPickle
 from repro.repository.queries import Query
@@ -179,7 +179,7 @@ class Trace(TraceStream):
 
     def __init__(self, events: Iterable[TraceEvent]) -> None:
         self._events: List[TraceEvent] = list(events)
-        for earlier, later in zip(self._events, self._events[1:]):
+        for earlier, later in zip(self._events, self._events[1:], strict=False):
             if later.timestamp < earlier.timestamp - 1e-9:
                 raise ValueError(
                     "trace events must be ordered by timestamp; "
@@ -208,7 +208,7 @@ class Trace(TraceStream):
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self._events)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: Union[int, slice]) -> Union[TraceEvent, "Trace"]:
         result = self._events[index]
         if isinstance(index, slice):
             return Trace(result)
@@ -420,7 +420,7 @@ class TraceView(TraceStream):
         return f"TraceView(events={len(self)}, start={self._start}, stop={self._stop})"
 
 
-def _event_to_dict(event: TraceEvent) -> Dict:
+def _event_to_dict(event: TraceEvent) -> Dict[str, object]:
     """Serialise one event to a plain dict."""
     if isinstance(event, QueryEvent):
         query = event.query
@@ -445,7 +445,7 @@ def _event_to_dict(event: TraceEvent) -> Dict:
     }
 
 
-def _event_from_dict(payload: Dict) -> TraceEvent:
+def _event_from_dict(payload: Dict[str, Any]) -> TraceEvent:
     """Deserialise one event from a plain dict."""
     kind = payload.get("kind")
     if kind == "query":

@@ -176,7 +176,7 @@ class SurveyUpdateGenerator:
             raw_costs *= config.target_total_cost / raw_costs.sum()
 
         updates: List[Update] = []
-        for index, (object_id, cost) in enumerate(zip(object_choices, raw_costs)):
+        for index, (object_id, cost) in enumerate(zip(object_choices, raw_costs, strict=True)):
             kind, rows = self._draw_body()
             timestamp = float(timestamps[index]) if timestamps is not None else float(index + 1)
             updates.append(
@@ -226,7 +226,7 @@ class SurveyUpdateGenerator:
         """
         object_choices = self._draw_arrivals()
         raw_costs = self._draw_raw_costs(object_choices)
-        for index, (object_id, cost) in enumerate(zip(object_choices, raw_costs)):
+        for index, (object_id, cost) in enumerate(zip(object_choices, raw_costs, strict=True)):
             kind, rows = self._draw_body()
             yield Update(
                 update_id=self._allocator.next_id(),

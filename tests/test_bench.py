@@ -73,6 +73,11 @@ class TestRunSuite:
         assert payload["jobs"] == 1
         assert isinstance(payload["python"], str)
 
+    def test_lint_clean_recorded(self, payload):
+        # In this source checkout the linter runs for real, so the stamp
+        # must be a definite verdict (and a clean tree at HEAD says True).
+        assert payload["lint_clean"] is True
+
     def test_jobs_fan_out_produces_same_shape(self):
         parallel = run_suite(TINY_CASES, jobs=2)
         validate_payload(parallel)
@@ -121,7 +126,7 @@ class TestRunSuite:
         streamed, materialised = payload["cases"]
         assert streamed["streaming"] is True
         assert materialised["streaming"] is False
-        for left, right in zip(streamed["policies"], materialised["policies"]):
+        for left, right in zip(streamed["policies"], materialised["policies"], strict=True):
             assert left["policy"] == right["policy"]
             assert left["total_traffic_mb"] == right["total_traffic_mb"]
             assert (
@@ -159,6 +164,17 @@ class TestSchemaValidation:
         broken = copy.deepcopy(payload)
         broken["cases"][0]["policies"][0]["events"] = "many"
         with pytest.raises(BenchSchemaError, match="events"):
+            validate_payload(broken)
+
+    def test_lint_clean_is_optional_but_typed(self, payload):
+        # Payloads recorded before the linter existed have no lint_clean;
+        # they must keep validating (the committed baseline is one).
+        legacy = copy.deepcopy(payload)
+        legacy.pop("lint_clean", None)
+        validate_payload(legacy)
+        broken = copy.deepcopy(payload)
+        broken["lint_clean"] = "yes"
+        with pytest.raises(BenchSchemaError, match="lint_clean"):
             validate_payload(broken)
 
     def test_rejects_duplicate_case_names(self, payload):

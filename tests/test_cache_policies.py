@@ -33,6 +33,17 @@ class TestGreedyDualSize:
         gds.on_hit(survivor, timestamp=2.0)
         assert gds.victim({survivor, 3}) == 3 or gds.priority(survivor) >= gds.priority(3)
 
+    def test_stale_heap_fallback_tie_breaks_on_object_id(self):
+        # Regression (caught by lint rule DET003): the linear-scan fallback
+        # used to iterate the resident *set*, so equal-credit ties were
+        # broken by set order -- nondeterministic across processes.  The
+        # scan now visits ids in sorted order, making the lowest id win.
+        gds = GreedyDualSize()
+        for object_id in (5, 3, 9, 1):
+            gds.on_load(object_id, size=10.0, cost=10.0, timestamp=0.0)
+        gds._heap.clear()  # force the heap-exhausted linear-scan path
+        assert gds.victim({9, 5, 3, 1}) == 1
+
     def test_eviction_raises_inflation_monotonically(self):
         gds = GreedyDualSize()
         gds.on_load(1, size=10.0, cost=10.0, timestamp=0.0)

@@ -106,7 +106,7 @@ class TestFig7bCumulativeTraffic:
     def test_cumulative_series_are_monotone(self, result):
         for policy in fig7b.POLICY_ORDER:
             series = [value for _, value in result.series(policy)]
-            assert all(a <= b + 1e-9 for a, b in zip(series, series[1:]))
+            assert all(a <= b + 1e-9 for a, b in zip(series, series[1:], strict=False))
 
     def test_format_table_mentions_ratios(self, result):
         text = fig7b.format_table(result)

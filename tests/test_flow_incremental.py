@@ -2,6 +2,12 @@
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -192,3 +198,49 @@ def test_property_incremental_matches_oracle(seed, steps):
         cover = solver.compute_cover()
         oracle = brute_force_min_cover(solver.to_instance(active_only=True))
         assert cover.weight == pytest.approx(oracle.weight)
+
+
+class TestCompactionDeterminism:
+    """compact() must not leak set iteration order into the rebuilt network.
+
+    Arc insertion order steers the augmenting-path search, and string
+    vertices hash differently across processes under hash randomisation --
+    so the regression is only visible across interpreters with different
+    ``PYTHONHASHSEED``.  (Caught by lint rule DET003.)
+    """
+
+    _SCRIPT = textwrap.dedent(
+        """
+        from repro.flow.incremental import IncrementalMaxFlow
+
+        solver = IncrementalMaxFlow()
+        for i in range(12):
+            solver.add_left(f"q{i}", 3.0 + (i % 4))
+            solver.add_right(f"u{i}", 1.0 + (i % 3))
+        for i in range(12):
+            solver.add_edge(f"q{i}", f"u{i}")
+            solver.add_edge(f"q{i}", f"u{(i + 1) % 12}")
+        solver.compute_cover()
+        solver.retire(
+            left=[f"q{i}" for i in range(0, 12, 2)],
+            right=[f"u{i}" for i in range(0, 12, 3)],
+        )
+        solver.compact()
+        cover = solver.compute_cover()
+        print(list(solver.network.adjacency()))
+        print(sorted(cover.left_in_cover), sorted(cover.right_in_cover))
+        print(round(cover.weight, 9), round(cover.flow_value, 9))
+        """
+    )
+
+    def _run(self, hash_seed: str) -> str:
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+        result = subprocess.run(
+            [sys.executable, "-c", self._SCRIPT],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        return result.stdout
+
+    def test_compacted_network_identical_across_hash_seeds(self):
+        assert self._run("1") == self._run("4242")

@@ -146,7 +146,7 @@ def test_property_interaction_graph_incidence_consistency(ops):
         elif kind == "query":
             query = Query(
                 query_id=next_id,
-                object_ids=frozenset([1]),
+                object_ids=frozenset({1}),
                 cost=cost,
                 timestamp=float(next_id),
             )
@@ -190,7 +190,7 @@ def test_property_interaction_graph_advice_covers_interactions(ops):
         elif kind == "query":
             query = Query(
                 query_id=next_id,
-                object_ids=frozenset([1]),
+                object_ids=frozenset({1}),
                 cost=cost,
                 timestamp=float(next_id),
             )

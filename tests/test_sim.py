@@ -188,6 +188,7 @@ class TestEngine:
                 result.occupancy.event_indices,
                 result.occupancy.occupancy,
                 result.occupancy.resident_objects,
+                strict=True,
             )
         ]
 

@@ -130,7 +130,7 @@ class TestDeterminism:
         serial = SweepRunner(jobs=1).run(points, scenarios)
         parallel = SweepRunner(jobs=4).run(points, scenarios)
         assert len(serial) == len(parallel) == len(points)
-        for one, other in zip(serial.points, parallel.points):
+        for one, other in zip(serial.points, parallel.points, strict=True):
             assert one.point.key == other.point.key
             assert one.payload() == other.payload()
 

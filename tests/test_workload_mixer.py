@@ -46,7 +46,7 @@ class TestInterleave:
         trace = interleave(queries, updates, mode="uniform")
         # No long run of one kind: the 4 queries split the 12 updates evenly.
         positions = [i for i, e in enumerate(trace) if isinstance(e, QueryEvent)]
-        gaps = [b - a for a, b in zip(positions, positions[1:])]
+        gaps = [b - a for a, b in zip(positions, positions[1:], strict=False)]
         assert max(gaps) <= 5
 
     def test_random_mode_is_seeded(self):

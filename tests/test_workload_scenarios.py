@@ -80,7 +80,7 @@ class TestFlashCrowdModel:
         )
         windows = stream._crowd_windows()
         assert windows[0][0] == 300
-        for (_, stop), (start, _) in zip(windows, windows[1:]):
+        for (_, stop), (start, _) in zip(windows, windows[1:], strict=False):
             assert stop <= start
 
     def test_back_to_back_crowds_all_fire(self, catalog):
