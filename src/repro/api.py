@@ -24,7 +24,12 @@ signatures are kept stable:
   draw of the adversarial scenario fuzzer, and a saved minimal-repro file
   read back (see :mod:`repro.workload.fuzz`),
 * :func:`run_lint` -- run the repro static analyser (determinism and
-  contract rules) over a path set (the library face of ``repro lint``).
+  contract rules) over a path set (the library face of ``repro lint``),
+* :func:`run_loadgen` -- serve a scenario through the asyncio cache
+  middleware and drive it with the closed-loop load harness, returning the
+  load report and a ``repro.bench/v2`` payload with measured latency
+  percentiles (the library face of ``repro loadgen``; see
+  :mod:`repro.serve`).
 
 Quickstart::
 
@@ -109,6 +114,7 @@ __all__ = [
     "run_bench",
     "run_experiment",
     "run_lint",
+    "run_loadgen",
     "run_scenario",
     "save_scenario",
 ]
@@ -159,6 +165,35 @@ def run_lint(
     from repro.lint import run_lint as _run_lint
 
     return _run_lint(paths, rule=rule)
+
+
+def run_loadgen(
+    config: Optional[ExperimentConfig] = None,
+    policy: str = "vcover",
+    clients: int = 4,
+    connect: Optional[tuple] = None,
+    with_latency_model: bool = False,
+):
+    """Serve a scenario and load it; returns ``(LoadReport, payload)``.
+
+    Boots an in-process :class:`~repro.serve.server.CacheServer` (or, with
+    ``connect=(host, port)``, drives an already-running ``repro serve``
+    process built from the same scenario config) and replays the scenario
+    trace through N closed-loop clients.  The payload validates against
+    ``repro.bench/v2`` and carries measured p50/p99/p999 per-request
+    latency; ``with_latency_model`` adds the analytic
+    :class:`~repro.network.latency.LatencyModel` predictions side by side.
+    """
+    from repro.network.latency import LatencyModel
+    from repro.serve.harness import run_loadgen as _run_loadgen
+
+    return _run_loadgen(
+        config=config,
+        policy=policy,
+        clients=clients,
+        connect=connect,
+        latency_model=LatencyModel() if with_latency_model else None,
+    )
 
 
 def compare_bench(current: dict, baseline: dict, tolerance: float = 0.15):

@@ -22,11 +22,19 @@ Public surface:
 
 from repro.bench.compare import CaseComparison, ComparisonReport, compare_payloads
 from repro.bench.runner import run_suite
-from repro.bench.schema import SCHEMA_ID, BenchSchemaError, validate_payload
+from repro.bench.schema import (
+    SCHEMA_ID,
+    SCHEMA_V1,
+    SUPPORTED_SCHEMAS,
+    BenchSchemaError,
+    validate_payload,
+)
 from repro.bench.suites import SUITES, BenchCase, get_suite
 
 __all__ = [
     "SCHEMA_ID",
+    "SCHEMA_V1",
+    "SUPPORTED_SCHEMAS",
     "SUITES",
     "BenchCase",
     "BenchSchemaError",

@@ -119,13 +119,13 @@ def compare_payloads(
     """
     if tolerance < 0:
         raise ValueError(f"tolerance must be non-negative, got {tolerance!r}")
+    # Mixed schema versions are fine: v2 only *adds* optional latency fields,
+    # and the (case, policy, wall_clock_s) rows this comparison reads are
+    # identical across v1 and v2 -- so a fresh v2 payload compares cleanly
+    # against a committed v1 baseline.  validate_payload rejects anything
+    # outside the supported set.
     validate_payload(current)
     validate_payload(baseline)
-    if current["schema"] != baseline["schema"]:  # future-proofing for v2
-        raise BenchSchemaError(
-            f"schema mismatch: current {current['schema']!r} "
-            f"vs baseline {baseline['schema']!r}"
-        )
     current_rows = _rows_by_key(current)
     baseline_rows = _rows_by_key(baseline)
     shared = sorted(set(current_rows) & set(baseline_rows))

@@ -2,17 +2,26 @@
 
 A hand-rolled validator (the toolchain deliberately has no jsonschema
 dependency) that pins the payload layout CI and the comparison tool rely
-on.  ``SCHEMA_ID`` is bumped whenever the layout changes incompatibly;
-:func:`validate_payload` raises :class:`BenchSchemaError` with a
-path-qualified message on the first violation it finds.
+on.  ``SCHEMA_ID`` is bumped whenever the layout changes; v2 is a strict
+superset of v1 (it adds an *optional* per-policy ``latency`` block recorded
+by the ``repro loadgen`` served-mode harness), so every v1 payload --
+including committed baselines -- still validates.  :func:`validate_payload`
+raises :class:`BenchSchemaError` with a path-qualified message on the first
+violation it finds.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Tuple, Union
 
-#: Identifier embedded in every payload; comparison refuses mixed schemas.
-SCHEMA_ID = "repro.bench/v1"
+#: The original layout (no latency fields); still accepted.
+SCHEMA_V1 = "repro.bench/v1"
+
+#: Identifier embedded in newly written payloads.
+SCHEMA_ID = "repro.bench/v2"
+
+#: Every schema :func:`validate_payload` accepts, oldest first.
+SUPPORTED_SCHEMAS = (SCHEMA_V1, SCHEMA_ID)
 
 
 class BenchSchemaError(ValueError):
@@ -65,6 +74,18 @@ _POLICY_FIELDS: Dict[str, _FieldType] = {
     "queries_answered_at_cache": int,
 }
 
+#: v2 only: required keys of the optional per-policy ``latency`` block
+#: (seconds).  Extra keys (``predicted_p50`` etc.) are tolerated, matching
+#: the validator's stance on unknown fields elsewhere.
+_LATENCY_FIELDS: Dict[str, _FieldType] = {
+    "count": int,
+    "mean": _NUMBER,
+    "p50": _NUMBER,
+    "p99": _NUMBER,
+    "p999": _NUMBER,
+    "max": _NUMBER,
+}
+
 
 def _check_fields(mapping: object, fields: Dict[str, _FieldType], where: str) -> None:
     if not isinstance(mapping, dict):
@@ -90,9 +111,11 @@ def validate_payload(payload: object) -> None:
     """Raise :class:`BenchSchemaError` unless ``payload`` is a valid result."""
     _check_fields(payload, _TOP_FIELDS, "payload")
     assert isinstance(payload, dict)
-    if payload["schema"] != SCHEMA_ID:
+    schema = payload["schema"]
+    if schema not in SUPPORTED_SCHEMAS:
         raise BenchSchemaError(
-            f"payload.schema: expected {SCHEMA_ID!r}, got {payload['schema']!r}"
+            f"payload.schema: expected one of {', '.join(SUPPORTED_SCHEMAS)}; "
+            f"got {schema!r}"
         )
     sha = payload.get("git_sha")
     if sha is not None and not isinstance(sha, str):
@@ -116,4 +139,14 @@ def validate_payload(payload: object) -> None:
         if not case["policies"]:
             raise BenchSchemaError(f"{where}.policies: must not be empty")
         for index, row in enumerate(case["policies"]):
-            _check_fields(row, _POLICY_FIELDS, f"{where}.policies[{index}]")
+            row_where = f"{where}.policies[{index}]"
+            _check_fields(row, _POLICY_FIELDS, row_where)
+            assert isinstance(row, dict)
+            latency = row.get("latency")
+            if latency is not None:
+                if schema == SCHEMA_V1:
+                    raise BenchSchemaError(
+                        f"{row_where}.latency: latency fields require "
+                        f"{SCHEMA_ID!r} (payload declares {SCHEMA_V1!r})"
+                    )
+                _check_fields(latency, _LATENCY_FIELDS, f"{row_where}.latency")

@@ -56,9 +56,22 @@ Classic workflows (all re-expressed over the facade):
 
 ``lint``
     Run the repro static analyser over the tree (``repro lint src tests``):
-    determinism rules (DET001-DET003), contract rules (PICK001, SLOT001)
-    and registry consistency (REG001).  Exit 1 on findings, 2 on bad
-    arguments; ``--format json`` emits the machine-readable report.
+    determinism rules (DET001-DET003), contract rules (PICK001, SLOT001),
+    async-safety (ASYNC001) and registry consistency (REG001).  Exit 1 on
+    findings, 2 on bad arguments; ``--format json`` emits the
+    machine-readable report.
+
+``serve``
+    Boot the asyncio cache-middleware server: one policy + repository +
+    network-link stack behind a single-writer event loop, speaking the
+    NDJSON protocol of :mod:`repro.serve.protocol` over TCP.
+
+``loadgen``
+    Drive a served cache with ``--clients N`` closed-loop clients replaying
+    a generated scenario trace (in-process server by default, or
+    ``--connect HOST:PORT`` against a running ``repro serve``), print
+    measured vs model-predicted latency percentiles, and optionally write
+    the ``repro.bench/v2`` payload (``--out``).
 """
 
 from __future__ import annotations
@@ -72,7 +85,7 @@ from typing import Dict, List, Optional, Sequence
 from repro import __version__, api
 from repro.core.benefit import BenefitConfig
 from repro.experiments import fig7a
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import WORKLOAD_MODELS, ExperimentConfig
 from repro.experiments.registry import UnknownExperimentError, UnknownOverrideError
 from repro.experiments.spec import ScenarioError, ScenarioSpec
 from repro.sim.engine import EngineConfig
@@ -81,6 +94,7 @@ from repro.sim.runner import default_policy_specs, run_policy
 from repro.sim.sweep import PointResult, SweepPoint, SweepRunner
 from repro.topology.spec import TopologySpec
 from repro.workload.ingest import IngestError
+from repro.serve.harness import SERVABLE_POLICIES
 from repro.workload.partition import PARTITION_STRATEGIES
 from repro.workload.trace import Trace
 
@@ -435,6 +449,85 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here so the classic subcommands never pay for the serve stack.
+    import asyncio
+
+    from repro.experiments.config import build_catalog
+    from repro.serve.server import CacheServer, install_uvloop
+
+    config = _spec_from_args(args).config.scaled(workload_model=args.model)
+    spec = default_policy_specs(
+        benefit_config=BenefitConfig(window_size=config.benefit_window),
+        include=(args.policy,),
+    )[0]
+    catalog = build_catalog(config)
+    server = CacheServer(
+        catalog,
+        spec,
+        catalog.total_size * config.cache_fraction,
+        host=args.host,
+        port=args.port,
+    )
+    uvloop_active = install_uvloop()
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"serving policy={args.policy} on {server.host}:{server.port} "
+            f"(objects={args.objects}, seed={args.seed}, "
+            f"uvloop={'on' if uvloop_active else 'off'})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.network.latency import LatencyModel
+    from repro.serve.client import ServeError
+    from repro.serve.harness import format_load_report, run_loadgen
+
+    connect = None
+    if args.connect is not None:
+        host, sep, port = args.connect.rpartition(":")
+        if not sep or not host or not port.isdigit():
+            print(
+                f"error: --connect expects HOST:PORT, got {args.connect!r}",
+                file=sys.stderr,
+            )
+            return 2
+        connect = (host, int(port))
+    config = _spec_from_args(args).config.scaled(workload_model=args.model)
+    try:
+        report, payload = run_loadgen(
+            config=config,
+            policy=args.policy,
+            clients=args.clients,
+            connect=connect,
+            latency_model=LatencyModel(),
+        )
+    except (ConnectionError, OSError, ServeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_load_report(report))
+    if args.out is not None:
+        args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote bench payload to {args.out}")
+    return 0
+
+
 def _cmd_topology(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
     config = spec.config
@@ -676,6 +769,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered rules and exit",
     )
     lint.set_defaults(handler=_cmd_lint)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a policy-fronted cache over TCP (NDJSON protocol)",
+    )
+    _add_scenario_arguments(serve)
+    serve.add_argument("--model", choices=WORKLOAD_MODELS, default="evolving",
+                       help="workload model label the scenario declares "
+                            "(default: evolving)")
+    serve.add_argument("--policy", choices=SERVABLE_POLICIES, default="vcover",
+                       help="policy to serve; soptimal is not servable -- it "
+                            "prepares offline over the full trace "
+                            "(default: vcover)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="listen address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7710,
+                       help="listen port; 0 picks an ephemeral port "
+                            "(default: 7710)")
+    serve.set_defaults(handler=_cmd_serve)
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="drive a served cache with N closed-loop clients and record "
+             "latency percentiles",
+    )
+    _add_scenario_arguments(loadgen)
+    loadgen.add_argument("--model", choices=WORKLOAD_MODELS, default="evolving",
+                         help="workload model for the generated trace "
+                              "(default: evolving)")
+    loadgen.add_argument("--policy", choices=SERVABLE_POLICIES, default="vcover",
+                         help="policy the in-process server runs; ignored "
+                              "with --connect (default: vcover)")
+    loadgen.add_argument("--clients", type=_at_least_one("--clients"), default=4,
+                         help="concurrent closed-loop clients (default: 4)")
+    loadgen.add_argument("--connect", default=None, metavar="HOST:PORT",
+                         help="drive an already-running `repro serve` process "
+                              "(must be built from the same scenario flags) "
+                              "instead of booting an in-process server")
+    loadgen.add_argument("--out", type=Path, default=None,
+                         help="write the repro.bench/v2 payload (measured "
+                              "p50/p99/p999 plus model predictions) to this "
+                              "JSON file")
+    loadgen.set_defaults(handler=_cmd_loadgen)
     return parser
 
 

@@ -125,4 +125,9 @@ def get_rule(rule_id: str) -> Rule:
 
 
 # Import the built-in rule modules for their registration side effects.
-from repro.lint.rules import consistency, contracts, determinism  # noqa: E402,F401
+from repro.lint.rules import (  # noqa: E402,F401
+    asyncio_rules,
+    consistency,
+    contracts,
+    determinism,
+)

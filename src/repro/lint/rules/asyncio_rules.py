@@ -1,0 +1,106 @@
+"""ASYNC001: blocking calls inside ``async def`` bodies in serve code.
+
+The serve subsystem's headline property is that one event loop multiplexes
+every connection; a single synchronous ``time.sleep``, blocking socket
+operation, ``requests`` call or file ``open`` inside a coroutine stalls the
+*whole* server -- every client, not just the offending one.  The failure is
+silent (throughput craters, nothing errors), which is exactly the kind of
+regression a static rule catches better than a test.
+
+Flagged inside any ``async def`` under ``src/repro/serve/``:
+
+* ``time.sleep`` (use ``await asyncio.sleep``);
+* the synchronous :mod:`socket` API (use asyncio streams);
+* ``requests.*`` / ``urllib.request.urlopen`` / ``http.client`` (use an
+  async client, or push the call into ``asyncio.to_thread``);
+* ``subprocess.*`` and ``os.system`` (use ``asyncio.create_subprocess_*``);
+* blocking file I/O via the ``open``/``io.open`` builtins and ``input``.
+
+Calls *referenced* but not made (e.g. ``asyncio.to_thread(time.sleep, 1)``)
+are not flagged.  The usual suppression directives apply.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.engine_types import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.rules import ModuleRule, register_rule
+
+#: Exact dotted targets that block the event loop, with the async fix.
+_BLOCKING_CALLS = {
+    "time.sleep": "use 'await asyncio.sleep(...)'",
+    "urllib.request.urlopen": "use an async client or asyncio.to_thread(...)",
+    "os.system": "use asyncio.create_subprocess_shell(...)",
+    "open": "file I/O blocks the loop; do it outside the coroutine "
+            "or via asyncio.to_thread(...)",
+    "io.open": "file I/O blocks the loop; do it outside the coroutine "
+               "or via asyncio.to_thread(...)",
+    "input": "terminal reads block the loop; use asyncio streams",
+}
+
+#: Dotted prefixes whose entire API is synchronous, with the async fix.
+_BLOCKING_PREFIXES = (
+    ("socket.", "use asyncio streams (open_connection/start_server)"),
+    ("requests.", "use an async client or asyncio.to_thread(...)"),
+    ("http.client.", "use an async client or asyncio.to_thread(...)"),
+    ("subprocess.", "use asyncio.create_subprocess_exec(...)"),
+)
+
+
+def _blocking_advice(target: str) -> Optional[str]:
+    """The fix hint when ``target`` is a blocking call, else None."""
+    advice = _BLOCKING_CALLS.get(target)
+    if advice is not None:
+        return advice
+    for prefix, hint in _BLOCKING_PREFIXES:
+        if target.startswith(prefix):
+            return hint
+    return None
+
+
+@register_rule
+class BlockingCallInAsync(ModuleRule):
+    """ASYNC001: no synchronous blocking calls inside serve coroutines."""
+
+    id = "ASYNC001"
+    title = "blocking call inside async def in serve code"
+    scope = ("repro/serve/",)
+
+    def check_module(self, module: ModuleContext) -> Iterator[Finding]:
+        imports = module.imports
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for call in self._calls_in_coroutine(node):
+                target = imports.resolve_call(call)
+                if target is None:
+                    continue
+                advice = _blocking_advice(target)
+                if advice is not None:
+                    yield self.finding(
+                        module,
+                        call.lineno,
+                        call.col_offset,
+                        f"{target}() blocks the event loop inside "
+                        f"'async def {node.name}'; {advice}",
+                    )
+
+    @staticmethod
+    def _calls_in_coroutine(coroutine: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+        """Calls made directly in the coroutine's body.
+
+        Nested function definitions are skipped: a nested ``def``'s body
+        only runs when called, and a nested ``async def`` is visited by the
+        outer walk in its own right.
+        """
+        stack = list(ast.iter_child_nodes(coroutine))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.Call):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,75 @@
+"""A small async client for the ``repro.serve`` NDJSON protocol.
+
+One request, one response, in order, over one TCP connection -- exactly the
+closed-loop shape the load harness drives.  The client never pipelines;
+callers that want concurrency open more clients (as the harness does).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional
+
+from repro.serve import protocol
+
+
+class ServeError(RuntimeError):
+    """The server answered a request with an error frame."""
+
+
+class ServeClient:
+    """One NDJSON connection to a :class:`~repro.serve.server.CacheServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        """Open a connection to a running server."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one frame and return the decoded response frame.
+
+        Raises :class:`ServeError` when the server answers with an error
+        frame, and :class:`~repro.serve.protocol.ProtocolError` when the
+        response does not parse.
+        """
+        self._writer.write(protocol.encode_frame(frame))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = protocol.decode_frame(line, expect=protocol.RESPONSE_TYPES)
+        if response["type"] == "error":
+            raise ServeError(response["payload"]["message"])
+        return response
+
+    async def query(
+        self, payload: Dict[str, Any], seq: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Send one query event dict; returns the result payload."""
+        response = await self.request(protocol.request_frame("query", payload, seq=seq))
+        return response["payload"]
+
+    async def update(
+        self, payload: Dict[str, Any], seq: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Send one update event dict; returns the result payload."""
+        response = await self.request(protocol.request_frame("update", payload, seq=seq))
+        return response["payload"]
+
+    async def stats(self) -> Dict[str, Any]:
+        """Fetch the server's stats snapshot."""
+        response = await self.request(protocol.request_frame("stats"))
+        return response["payload"]
+
+    async def close(self) -> None:
+        """Close the connection."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

@@ -1,0 +1,103 @@
+"""Sim-vs-served equivalence: one trace, one policy, two execution paths.
+
+The server wraps the *same* policy/Repository/NetworkLink classes the replay
+engine drives, behind a single-writer loop that applies frames in trace
+order.  So for any online policy, replaying a trace through
+:class:`~repro.sim.engine.SimulationEngine` and serving it through
+:class:`~repro.serve.server.CacheServer` must produce **byte-identical
+decision logs** (every load, eviction and update shipment, in order) and
+identical traffic counters.  This module provides the two instrumented
+paths; ``tests/test_serve_equivalence.py`` pins the guarantee.
+
+Scope: online policies only (``nocache``, ``replica``, ``benefit``,
+``vcover``).  ``soptimal`` prepares offline over the full future trace,
+which a server that sees events one at a time cannot do by construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Tuple
+
+from repro.network.link import NetworkLink
+from repro.repository.objects import ObjectCatalog
+from repro.repository.server import Repository
+from repro.serve import protocol
+from repro.serve.harness import run_load
+from repro.serve.server import CacheServer
+from repro.sim.engine import EngineConfig, SimulationEngine
+from repro.sim.results import RunResult
+from repro.sim.runner import PolicySpec
+from repro.workload.trace import TraceStream
+
+
+class RecordingPolicy:
+    """A transparent policy wrapper recording decision signatures.
+
+    Forwards everything to the wrapped policy (including ``store`` and
+    ``stats``, which the engine probes with ``getattr``/``hasattr``) while
+    appending one :func:`~repro.serve.protocol.outcome_signature` /
+    :func:`~repro.serve.protocol.update_signature` row per event -- the same
+    records the server keeps, so the two logs are directly comparable.
+    """
+
+    def __init__(self, inner: Any) -> None:
+        self._inner = inner
+        self.decisions: List[List[Any]] = []
+
+    def on_query(self, query: Any) -> Any:
+        outcome = self._inner.on_query(query)
+        self.decisions.append(protocol.outcome_signature(outcome))
+        return outcome
+
+    def on_update(self, update: Any) -> None:
+        self._inner.on_update(update)
+        self.decisions.append(protocol.update_signature(update))
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+
+def replay_with_log(
+    spec: PolicySpec,
+    catalog: ObjectCatalog,
+    trace: TraceStream,
+    cache_capacity: float,
+) -> Tuple[RunResult, List[List[Any]]]:
+    """Run one policy through the replay engine, recording its decisions."""
+    repository = Repository(catalog, keep_update_log=False)
+    link = NetworkLink()
+    policy = RecordingPolicy(spec.factory(repository, cache_capacity, link))
+    engine = SimulationEngine(repository, EngineConfig())
+    result = engine.run(policy, trace, link)
+    return result, policy.decisions
+
+
+def serve_with_log(
+    spec: PolicySpec,
+    catalog: ObjectCatalog,
+    trace: TraceStream,
+    cache_capacity: float,
+    clients: int = 2,
+) -> Tuple[Dict[str, Any], List[List[Any]]]:
+    """Serve the same trace through an in-process server, same instrumentation.
+
+    Returns the server's final stats snapshot and its decision log.
+    """
+
+    async def _drive() -> Tuple[Dict[str, Any], List[List[Any]]]:
+        server = CacheServer(catalog, spec, cache_capacity)
+        await server.start()
+        try:
+            await run_load(trace, server.host, server.port, clients=clients)
+        finally:
+            await server.stop()
+        return server.stats_snapshot(), server.decision_log
+
+    return asyncio.run(_drive())
+
+
+def logs_identical(sim_log: List[List[Any]], served_log: List[List[Any]]) -> bool:
+    """Byte-identity of two decision logs (JSON-encoded, as persisted)."""
+    return json.dumps(sim_log) == json.dumps(served_log)

@@ -5,12 +5,20 @@ per mechanism) along the event sequence so the experiment harness can
 reproduce the paper's cumulative-cost curves (Figures 7b and 8b) without
 storing per-event data for half a million events: samples are taken every
 ``sample_every`` events plus once at the very end.
+
+:class:`StreamingHistogram` is a fixed-bucket, log-spaced streaming
+histogram: constant memory no matter how many values are recorded, with
+percentile queries (p50/p99/p999) answered from the bucket boundaries.  The
+served-mode load harness (:mod:`repro.serve.harness`) records per-request
+latencies into one, and simulation-side consumers can use it for any
+distribution sampled along a replay.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.network.link import Mechanism, NetworkLink
 
@@ -78,6 +86,186 @@ class TrafficTimeSeries:
     def as_rows(self) -> List[Tuple[int, float]]:
         """(event_index, cumulative_total) pairs, ready for tabulation."""
         return [(sample.event_index, sample.total) for sample in self._samples]
+
+
+class StreamingHistogram:
+    """A fixed-bucket, log-spaced streaming histogram.
+
+    Values are folded into ``buckets_per_decade`` logarithmic buckets per
+    decade between ``lower`` and ``upper``; anything below ``lower`` lands in
+    the first bucket and anything above ``upper`` in the last, so memory is
+    fixed at construction time regardless of how many values are recorded.
+    Percentiles are answered with the *upper edge* of the bucket holding the
+    requested rank -- a deterministic, slightly conservative estimate whose
+    relative error is bounded by one bucket width (about 7% at the default
+    resolution).
+
+    The defaults (1 microsecond to 100 seconds) cover request latencies; pass
+    different bounds for other distributions.
+    """
+
+    __slots__ = ("_lower", "_upper", "_per_decade", "_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(
+        self,
+        lower: float = 1e-6,
+        upper: float = 100.0,
+        buckets_per_decade: int = 32,
+    ) -> None:
+        if lower <= 0 or upper <= lower:
+            raise ValueError("need 0 < lower < upper")
+        if buckets_per_decade <= 0:
+            raise ValueError("buckets_per_decade must be positive")
+        self._lower = lower
+        self._upper = upper
+        self._per_decade = buckets_per_decade
+        decades = math.log10(upper / lower)
+        self._counts = [0] * (int(math.ceil(decades * buckets_per_decade)) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = 0.0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, value: float) -> None:
+        """Fold one non-negative value into the histogram."""
+        if value < 0:
+            raise ValueError("histogram values must be non-negative")
+        self._counts[self._bucket_index(value)] += 1
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def merge(self, other: "StreamingHistogram") -> None:
+        """Fold another histogram with identical bucket layout into this one."""
+        if (
+            other._lower != self._lower
+            or other._upper != self._upper
+            or other._per_decade != self._per_decade
+        ):
+            raise ValueError("cannot merge histograms with different bucket layouts")
+        for index, count in enumerate(other._counts):
+            self._counts[index] += count
+        self._count += other._count
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    def _bucket_index(self, value: float) -> int:
+        if value <= self._lower:
+            return 0
+        last = len(self._counts) - 1
+        if value >= self._upper:
+            return last
+        index = int(math.log10(value / self._lower) * self._per_decade)
+        return min(max(index, 0), last)
+
+    def _bucket_upper_edge(self, index: int) -> float:
+        return min(self._upper, self._lower * 10.0 ** ((index + 1) / self._per_decade))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of recorded values."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of the recorded values (0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        """Exact minimum recorded value (0 when empty)."""
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Exact maximum recorded value (0 when empty)."""
+        return self._max
+
+    def percentile(self, quantile: float) -> float:
+        """Upper bucket edge at ``quantile`` (0 < q <= 1); 0 when empty.
+
+        The exact min/max are returned at the extremes so ``percentile(1.0)``
+        never overshoots the observed maximum.
+        """
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError("quantile must lie in (0, 1]")
+        if self._count == 0:
+            return 0.0
+        rank = math.ceil(quantile * self._count)
+        cumulative = 0
+        last = len(self._counts) - 1
+        for index, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index == last:
+                    # Overflow bucket: every value here is >= the top edge,
+                    # so the observed maximum is the tighter (and honest)
+                    # estimate.
+                    return self._max
+                return min(self._bucket_upper_edge(index), self._max)
+        return self._max
+
+    def percentiles(self, quantiles: Sequence[float]) -> List[float]:
+        """The percentile estimate for each quantile, in the given order."""
+        return [self.percentile(quantile) for quantile in quantiles]
+
+    def summary(self) -> Dict[str, float]:
+        """The standard latency summary (count, mean, extremes, p50/p99/p999)."""
+        return {
+            "count": float(self._count),
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p99": self.percentile(0.99),
+            "p999": self.percentile(0.999),
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence (serve reports embed histograms in JSON payloads)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (sparse buckets; exact round trip)."""
+        return {
+            "lower": self._lower,
+            "upper": self._upper,
+            "buckets_per_decade": self._per_decade,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else None,
+            "max": self._max,
+            "buckets": {
+                str(index): count for index, count in enumerate(self._counts) if count
+            },
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "StreamingHistogram":
+        """Rebuild a histogram previously serialised with :meth:`to_dict`."""
+        histogram = StreamingHistogram(
+            lower=float(payload["lower"]),  # type: ignore[arg-type]
+            upper=float(payload["upper"]),  # type: ignore[arg-type]
+            buckets_per_decade=int(payload["buckets_per_decade"]),  # type: ignore[arg-type]
+        )
+        buckets: Dict[str, int] = payload.get("buckets", {})  # type: ignore[assignment]
+        for key, count in buckets.items():
+            histogram._counts[int(key)] = int(count)
+        histogram._count = int(payload["count"])  # type: ignore[arg-type]
+        histogram._sum = float(payload["sum"])  # type: ignore[arg-type]
+        raw_min: Optional[float] = payload.get("min")  # type: ignore[assignment]
+        histogram._min = math.inf if raw_min is None else float(raw_min)
+        histogram._max = float(payload["max"])  # type: ignore[arg-type]
+        return histogram
 
 
 @dataclass

@@ -325,7 +325,7 @@ class Trace(TraceStream):
         path = Path(path)
         with path.open("w", encoding="utf-8") as handle:
             for event in self._events:
-                handle.write(json.dumps(_event_to_dict(event)) + "\n")
+                handle.write(json.dumps(event_to_dict(event)) + "\n")
 
     @staticmethod
     def from_jsonl(path: Union[str, Path]) -> "Trace":
@@ -337,7 +337,7 @@ class Trace(TraceStream):
                 line = line.strip()
                 if not line:
                     continue
-                events.append(_event_from_dict(json.loads(line)))
+                events.append(event_from_dict(json.loads(line)))
         return Trace(events)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -420,8 +420,13 @@ class TraceView(TraceStream):
         return f"TraceView(events={len(self)}, start={self._start}, stop={self._stop})"
 
 
-def _event_to_dict(event: TraceEvent) -> Dict[str, object]:
-    """Serialise one event to a plain dict."""
+def event_to_dict(event: TraceEvent) -> Dict[str, object]:
+    """Serialise one event to a plain JSON-compatible dict.
+
+    This is the one event wire format: the JSONL trace files and the
+    ``repro.serve`` NDJSON protocol both use it, so a persisted trace line
+    and a served query frame payload can never drift apart.
+    """
     if isinstance(event, QueryEvent):
         query = event.query
         return {
@@ -445,8 +450,8 @@ def _event_to_dict(event: TraceEvent) -> Dict[str, object]:
     }
 
 
-def _event_from_dict(payload: Dict[str, Any]) -> TraceEvent:
-    """Deserialise one event from a plain dict."""
+def event_from_dict(payload: Dict[str, Any]) -> TraceEvent:
+    """Deserialise one event from a plain dict (inverse of :func:`event_to_dict`)."""
     kind = payload.get("kind")
     if kind == "query":
         return QueryEvent(

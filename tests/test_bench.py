@@ -10,6 +10,7 @@ import pytest
 
 from repro.bench import (
     SCHEMA_ID,
+    SCHEMA_V1,
     SUITES,
     BenchCase,
     BenchSchemaError,
@@ -188,6 +189,67 @@ class TestSchemaValidation:
         broken["cases"] = []
         with pytest.raises(BenchSchemaError, match="must not be empty"):
             validate_payload(broken)
+
+
+class TestSchemaVersions:
+    """v2 is a strict superset of v1: old payloads must keep validating."""
+
+    def test_v1_payload_still_validates(self, payload):
+        legacy = copy.deepcopy(payload)
+        legacy["schema"] = SCHEMA_V1
+        validate_payload(legacy)
+
+    def test_committed_v1_baseline_still_validates(self):
+        root = Path(__file__).parent.parent
+        baseline = load_payload(
+            root / "benchmarks" / "baselines" / "BENCH_baseline.json"
+        )
+        assert baseline["schema"] == SCHEMA_V1
+        validate_payload(baseline)
+
+    def test_v2_accepts_optional_latency_block(self, payload):
+        current = copy.deepcopy(payload)
+        current["cases"][0]["policies"][0]["latency"] = {
+            "count": 100,
+            "mean": 0.002,
+            "p50": 0.001,
+            "p99": 0.01,
+            "p999": 0.02,
+            "max": 0.05,
+            "predicted_p50": 0.004,  # extra keys tolerated
+        }
+        validate_payload(current)
+
+    def test_v1_payload_with_latency_rejected(self, payload):
+        legacy = copy.deepcopy(payload)
+        legacy["schema"] = SCHEMA_V1
+        legacy["cases"][0]["policies"][0]["latency"] = {
+            "count": 1, "mean": 0.0, "p50": 0.0, "p99": 0.0, "p999": 0.0, "max": 0.0,
+        }
+        with pytest.raises(BenchSchemaError, match="latency fields require"):
+            validate_payload(legacy)
+
+    def test_malformed_latency_block_rejected(self, payload):
+        current = copy.deepcopy(payload)
+        current["cases"][0]["policies"][0]["latency"] = {"p50": 0.001}
+        with pytest.raises(BenchSchemaError, match="latency"):
+            validate_payload(current)
+
+    def test_latency_count_must_be_int(self, payload):
+        current = copy.deepcopy(payload)
+        current["cases"][0]["policies"][0]["latency"] = {
+            "count": True, "mean": 0.0, "p50": 0.0, "p99": 0.0, "p999": 0.0, "max": 0.0,
+        }
+        with pytest.raises(BenchSchemaError, match="count"):
+            validate_payload(current)
+
+    def test_v2_payload_compares_against_v1_baseline(self, payload):
+        # The CI gate runs a fresh (v2) suite against the committed v1
+        # baseline; mixed schema versions must compare cleanly.
+        baseline = copy.deepcopy(payload)
+        baseline["schema"] = SCHEMA_V1
+        report = compare_payloads(payload, baseline, tolerance=0.15)
+        assert report.ok
 
 
 def slowed(payload, factor):

@@ -541,6 +541,127 @@ class TestReg001:
 
 
 # ----------------------------------------------------------------------
+# ASYNC001: blocking calls inside async def in serve code
+# ----------------------------------------------------------------------
+class TestAsync001:
+    def test_blocking_calls_in_coroutine_flagged(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/serve/handler.py": """
+                import socket
+                import time
+                from time import sleep
+
+
+                async def serve_one():
+                    time.sleep(0.1)
+                    sleep(0.1)
+                    sock = socket.create_connection(("host", 80))
+                    data = open("state.json").read()
+                    return sock, data
+            """,
+        })
+        findings = lint_rules(project, "src", rule="ASYNC001")
+        assert len(findings) == 4
+        messages = "\n".join(finding.message for finding in findings)
+        assert "time.sleep" in messages
+        assert "socket.create_connection" in messages
+        assert "open" in messages
+        assert all("serve_one" in finding.message for finding in findings)
+
+    def test_requests_and_subprocess_flagged(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/serve/fetch.py": """
+                import requests
+                import subprocess
+
+
+                async def fetch(url):
+                    subprocess.run(["true"])
+                    return requests.get(url)
+            """,
+        })
+        findings = lint_rules(project, "src", rule="ASYNC001")
+        assert len(findings) == 2
+        assert any("asyncio.create_subprocess" in f.message for f in findings)
+
+    def test_sync_function_not_flagged(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/serve/setup.py": """
+                import time
+
+
+                def warm_up():
+                    time.sleep(0.1)
+                    return open("config.json").read()
+            """,
+        })
+        assert lint_rules(project, "src", rule="ASYNC001") == []
+
+    def test_async_code_outside_serve_not_flagged(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/sim/background.py": """
+                import time
+
+
+                async def tick():
+                    time.sleep(1)
+            """,
+        })
+        assert lint_rules(project, "src", rule="ASYNC001") == []
+
+    def test_nested_sync_def_inside_coroutine_not_flagged(self, tmp_path):
+        # The nested def's body runs only when called -- typically handed to
+        # asyncio.to_thread, which is exactly the recommended fix.
+        project = make_project(tmp_path, {
+            "src/repro/serve/offload.py": """
+                import asyncio
+                import time
+
+
+                async def offload():
+                    def blocking():
+                        time.sleep(1)
+                    await asyncio.to_thread(blocking)
+            """,
+        })
+        assert lint_rules(project, "src", rule="ASYNC001") == []
+
+    def test_nonblocking_async_code_clean(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/serve/clean.py": """
+                import asyncio
+
+
+                async def pause():
+                    await asyncio.sleep(0.1)
+                    reader, writer = await asyncio.open_connection("host", 80)
+                    return reader, writer
+            """,
+        })
+        assert lint_rules(project, "src", rule="ASYNC001") == []
+
+    def test_suppression_directives_respected(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/serve/suppressed.py": """
+                import time
+
+
+                async def pause():
+                    time.sleep(0.1)  # repro-lint: disable=ASYNC001
+            """,
+            "src/repro/serve/filewide.py": """
+                # repro-lint: disable-file=ASYNC001
+                import time
+
+
+                async def pause():
+                    time.sleep(0.1)
+            """,
+        })
+        assert lint_rules(project, "src", rule="ASYNC001") == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
 class TestSuppressions:
