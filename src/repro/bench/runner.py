@@ -139,16 +139,19 @@ def _run_case(case: BenchCase) -> Dict[str, Any]:
             if best is None or elapsed < best:
                 best = elapsed
         assert run is not None and best is not None
-        policy_rows.append(
-            {
-                "policy": spec.name,
-                "wall_clock_s": best,
-                "events": events,
-                "events_per_s": events / best if best > 0 else 0.0,
-                "total_traffic_mb": run.total_traffic,
-                "queries_answered_at_cache": run.queries_answered_at_cache,
-            }
-        )
+        row: Dict[str, Any] = {
+            "policy": spec.name,
+            "wall_clock_s": best,
+            "events": events,
+            "events_per_s": events / best if best > 0 else 0.0,
+            "total_traffic_mb": run.total_traffic,
+            "queries_answered_at_cache": run.queries_answered_at_cache,
+        }
+        if run.regret is not None:
+            # Policies that track online-vs-offline regret (the adaptive
+            # meta-policy) surface the summary in their bench rows.
+            row["regret"] = dict(run.regret)
+        policy_rows.append(row)
 
     total_wall = sum(row["wall_clock_s"] for row in policy_rows)
     return {

@@ -4,10 +4,11 @@ A hand-rolled validator (the toolchain deliberately has no jsonschema
 dependency) that pins the payload layout CI and the comparison tool rely
 on.  ``SCHEMA_ID`` is bumped whenever the layout changes; v2 is a strict
 superset of v1 (it adds an *optional* per-policy ``latency`` block recorded
-by the ``repro loadgen`` served-mode harness), so every v1 payload --
-including committed baselines -- still validates.  :func:`validate_payload`
-raises :class:`BenchSchemaError` with a path-qualified message on the first
-violation it finds.
+by the ``repro loadgen`` served-mode harness, and an *optional* per-policy
+``regret`` block recorded by regret-tracking policies such as the adaptive
+meta-policy), so every v1 payload -- including committed baselines -- still
+validates.  :func:`validate_payload` raises :class:`BenchSchemaError` with a
+path-qualified message on the first violation it finds.
 """
 
 from __future__ import annotations
@@ -86,6 +87,17 @@ _LATENCY_FIELDS: Dict[str, _FieldType] = {
     "max": _NUMBER,
 }
 
+#: v2 only: required keys of the optional per-policy ``regret`` block (the
+#: :meth:`repro.core.regret.RegretTracker.summary` payload, all MB except
+#: the epoch count).
+_REGRET_FIELDS: Dict[str, _FieldType] = {
+    "epochs": _NUMBER,
+    "observed_traffic": _NUMBER,
+    "offline_traffic": _NUMBER,
+    "total": _NUMBER,
+    "mean_per_epoch": _NUMBER,
+}
+
 
 def _check_fields(mapping: object, fields: Dict[str, _FieldType], where: str) -> None:
     if not isinstance(mapping, dict):
@@ -150,3 +162,11 @@ def validate_payload(payload: object) -> None:
                         f"{SCHEMA_ID!r} (payload declares {SCHEMA_V1!r})"
                     )
                 _check_fields(latency, _LATENCY_FIELDS, f"{row_where}.latency")
+            regret = row.get("regret")
+            if regret is not None:
+                if schema == SCHEMA_V1:
+                    raise BenchSchemaError(
+                        f"{row_where}.regret: regret fields require "
+                        f"{SCHEMA_ID!r} (payload declares {SCHEMA_V1!r})"
+                    )
+                _check_fields(regret, _REGRET_FIELDS, f"{row_where}.regret")

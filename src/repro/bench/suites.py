@@ -109,6 +109,13 @@ SUITES: Dict[str, Tuple[BenchCase, ...]] = {
             sites=2,
             repeats=3,
         ),
+        _case(
+            "adaptive-quick",
+            "adaptive meta-policy (regret-tracked) vs vcover over 3k events",
+            overrides={"query_count": 1500, "update_count": 1500},
+            policies=("adaptive", "vcover"),
+            repeats=3,
+        ),
     ),
     "full": (
         _case(

@@ -99,7 +99,7 @@ from repro.workload.partition import PARTITION_STRATEGIES
 from repro.workload.trace import Trace
 
 #: Policies selectable from the command line.
-POLICY_CHOICES = ("vcover", "benefit", "nocache", "replica", "soptimal")
+POLICY_CHOICES = ("vcover", "benefit", "nocache", "replica", "soptimal", "adaptive")
 
 #: Ratio keys printed under a comparison table, in display order.
 SUMMARY_RATIOS = (
@@ -315,7 +315,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
-    policies = _unique(args.policies) if args.policies else POLICY_CHOICES
+    policies = _unique(args.policies) if args.policies else api.DEFAULT_POLICIES
     comparison = api.run_scenario(spec, policies=policies, jobs=args.jobs)
     _print_comparison(comparison)
     return 0
@@ -323,7 +323,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     config = _spec_from_args(args).config
-    policies = _unique(args.policies) if args.policies else POLICY_CHOICES
+    policies = _unique(args.policies) if args.policies else api.DEFAULT_POLICIES
     fractions = (
         _unique(args.cache_fractions) if args.cache_fractions
         else (config.cache_fraction,)

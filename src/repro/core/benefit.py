@@ -116,7 +116,7 @@ class BenefitPolicy(BaseCachePolicy):
 
     def on_query(self, query: Query) -> QueryOutcome:
         """Answer from cache when possible, otherwise ship the query."""
-        self._queries_seen += 1
+        self.note_query(query)
         self._current_time = query.timestamp
         if self.cache_satisfies(query):
             self.record_cache_answer(query)

@@ -11,6 +11,15 @@ per-object list of *outstanding* updates (updates the server has applied that
 the cached copy has not seen), and helpers for loading/evicting objects and
 shipping updates with correct cost accounting -- so the concrete policies
 (VCover, Benefit, the yardsticks) contain only their decision logic.
+
+The base class follows an explicit *observe/decide* contract: everything a
+policy learns about the workload flows through its
+:class:`repro.cache.observer.PolicyObserver` (see :meth:`BaseCachePolicy.note_query`
+and the notifications wired into :meth:`BaseCachePolicy.ship_query`,
+:meth:`BaseCachePolicy.record_cache_answer` and update registration), while
+the mechanism helpers below carry only decisions.  Meta-policies read the
+observation side per epoch via :meth:`BaseCachePolicy.close_epoch`; see
+``docs/policies.md`` for the full contract.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ from __future__ import annotations
 import abc
 from typing import Dict, List, Optional
 
+from repro.cache.observer import EpochSnapshot, PolicyObserver
 from repro.cache.store import CacheStore
 from repro.core.decoupling import QueryOutcome
 from repro.network.link import NetworkLink
@@ -87,8 +97,10 @@ class BaseCachePolicy(CachePolicy):
         #: the per-update timestamps at all (removals may leave the bound
         #: stale-high, which only skips the shortcut, never falsifies it).
         self._outstanding_max_ts: Dict[int, float] = {}
-        self._queries_seen = 0
-        self._updates_seen = 0
+        #: The observation half of the observe/decide contract: every
+        #: workload fact the policy learns (queries, updates, answers,
+        #: shipped queries, epoch traffic) is recorded here and nowhere else.
+        self._observer = PolicyObserver(link)
 
     # ------------------------------------------------------------------
     # Accessors
@@ -107,6 +119,11 @@ class BaseCachePolicy(CachePolicy):
     def store(self) -> CacheStore:
         """The policy's cache store."""
         return self._store
+
+    @property
+    def observer(self) -> PolicyObserver:
+        """The policy's workload observer (the observation half)."""
+        return self._observer
 
     @property
     def total_traffic(self) -> float:
@@ -130,11 +147,27 @@ class BaseCachePolicy(CachePolicy):
         return sorted(self._store.resident_ids())
 
     # ------------------------------------------------------------------
+    # Observation hooks
+    # ------------------------------------------------------------------
+    def note_query(self, query: Query) -> None:
+        """Report a query arrival to the observer.
+
+        Concrete policies call this once at the top of :meth:`on_query`;
+        the answer itself is reported by the mechanism helpers
+        (:meth:`ship_query` / :meth:`record_cache_answer`).
+        """
+        self._observer.note_query(query)
+
+    def close_epoch(self) -> EpochSnapshot:
+        """Close the observer's current epoch and return its snapshot."""
+        return self._observer.close_epoch()
+
+    # ------------------------------------------------------------------
     # Update arrival bookkeeping
     # ------------------------------------------------------------------
     def _register_update(self, update: Update) -> None:
         """Record an update against the cached copy of its object (if any)."""
-        self._updates_seen += 1
+        self._observer.note_update(update)
         object_id = update.object_id
         if object_id in self._store:
             self._store.mark_stale(object_id)
@@ -182,6 +215,7 @@ class BaseCachePolicy(CachePolicy):
         """Ship a query to the server and charge its cost."""
         cost = self._repository.answer_query(query)
         self._link.ship_query(cost, query.timestamp, query_id=query.query_id)
+        self._observer.note_shipped_query(query)
         return cost
 
     def ship_update(self, update: Update, timestamp: float) -> float:
@@ -251,6 +285,7 @@ class BaseCachePolicy(CachePolicy):
         """Record a cache hit on every object the query touches."""
         for object_id in query.object_ids:
             self._store.record_hit(object_id, query.timestamp)
+        self._observer.note_cache_answer(query)
 
     # ------------------------------------------------------------------
     # Statistics
@@ -258,8 +293,8 @@ class BaseCachePolicy(CachePolicy):
     def stats(self) -> Dict[str, float]:
         """Summary counters for reports."""
         return {
-            "queries_seen": float(self._queries_seen),
-            "updates_seen": float(self._updates_seen),
+            "queries_seen": float(self._observer.queries_seen),
+            "updates_seen": float(self._observer.updates_seen),
             "total_traffic": self.total_traffic,
             **{f"store_{key}": value for key, value in self._store.stats().items()},
         }

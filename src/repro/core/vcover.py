@@ -124,7 +124,7 @@ class VCoverPolicy(BaseCachePolicy):
 
     def on_query(self, query: Query) -> QueryOutcome:
         """Process one query per Figure 3."""
-        self._queries_seen += 1
+        self.note_query(query)
         if self.store.contains_all(query.object_ids):
             return self._handle_in_cache(query)
         return self._handle_missing(query)

@@ -43,7 +43,7 @@ class NoCachePolicy(BaseCachePolicy):
 
     def on_query(self, query: Query) -> QueryOutcome:
         """Ship the query and charge its cost."""
-        self._queries_seen += 1
+        self.note_query(query)
         cost = self.ship_query(query)
         return QueryOutcome(
             query_id=query.query_id,
@@ -75,7 +75,7 @@ class ReplicaPolicy(BaseCachePolicy):
 
     def on_query(self, query: Query) -> QueryOutcome:
         """Answer at the replica: it is always complete and current."""
-        self._queries_seen += 1
+        self.note_query(query)
         self.record_cache_answer(query)
         return QueryOutcome(query_id=query.query_id, action=QueryAction.ANSWERED_AT_CACHE)
 
@@ -152,7 +152,7 @@ class SOptimalPolicy(BaseCachePolicy):
 
     def on_query(self, query: Query) -> QueryOutcome:
         """Answer from the static set when it covers the query, else ship."""
-        self._queries_seen += 1
+        self.note_query(query)
         if self.cache_satisfies(query):
             self.record_cache_answer(query)
             return QueryOutcome(

@@ -18,6 +18,7 @@ module is documented in ``DESIGN.md`` and ``docs/experiments.md``.
 from repro.experiments import registry
 from repro.experiments import (
     ablations,
+    adaptive,
     cache_size,
     fig7a,
     fig7b,

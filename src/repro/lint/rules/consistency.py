@@ -1,7 +1,7 @@
-"""REG001: cross-artifact consistency of the experiment/model registries.
+"""REG001/REG002: cross-artifact consistency of the project registries.
 
-Two registries in this repository have documentation (or test) shadows that
-used to be kept honest only at runtime:
+Several registries in this repository have documentation (or test) shadows
+that used to be kept honest only at runtime:
 
 * every ``@register_experiment`` name must appear in ``docs/experiments.md``
   (the table is generated, but regeneration is a manual step -- a new
@@ -13,8 +13,14 @@ used to be kept honest only at runtime:
   every strategy knob must name a real constructor field of the model's
   stream class.  This used to be a bare ``assert`` at test-import time;
   as a lint rule it fails with a file/line before the test suite even runs.
+* (REG002) every policy a user can name -- the engine policies listed in
+  ``POLICY_NAMES`` in ``repro/sim/runner.py`` plus the eviction policies
+  registered with ``registry.register(...)`` in ``repro/cache`` -- must be
+  documented in ``docs/policies.md``.  A policy merged without its doc
+  entry (or a doc page deleted out from under the roster) fails the lint,
+  not a reader.
 
-The rule reads the artifacts through the AST (no imports), so it works on
+The rules read the artifacts through the AST (no imports), so they work on
 a checkout whose dependencies are not installed.
 """
 
@@ -306,3 +312,91 @@ class RegistryConsistency(ProjectRule):
                     f"{_FUZZ_PATH} does not register it"
                 ),
             )
+
+
+#: REG002 artifact paths.
+_RUNNER_PATH = "src/repro/sim/runner.py"
+_CACHE_DIR = "src/repro/cache"
+_POLICY_DOCS_PATH = "docs/policies.md"
+
+
+@register_rule
+class PolicyDocsConsistency(ProjectRule):
+    """REG002: every registered policy name must appear in docs/policies.md."""
+
+    id = "REG002"
+    title = "policy roster out of sync with docs/policies.md"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        policies = self._registered_policies(project)
+        if not policies:
+            return
+        docs = project.read_text(_POLICY_DOCS_PATH)
+        if docs is None:
+            name, rel_path, line = policies[0]
+            yield Finding(
+                rule=self.id,
+                path=rel_path,
+                line=line,
+                col=0,
+                message=(
+                    f"policies are registered but {_POLICY_DOCS_PATH} does "
+                    "not exist; document the policy roster"
+                ),
+            )
+            return
+        for name, rel_path, line in policies:
+            if f"`{name}`" not in docs:
+                yield Finding(
+                    rule=self.id,
+                    path=rel_path,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"policy {name!r} is registered here but missing from "
+                        f"{_POLICY_DOCS_PATH}; add it to the policy roster"
+                    ),
+                )
+
+    def _registered_policies(
+        self, project: ProjectContext
+    ) -> List[Tuple[str, str, int]]:
+        """(name, rel_path, line) of every user-nameable policy.
+
+        Two registries feed the roster: the engine policies enumerated by
+        ``POLICY_NAMES`` in the sweep runner, and the eviction policies
+        registered against the :mod:`repro.cache` registry.
+        """
+        policies: List[Tuple[str, str, int]] = []
+        runner = project.module(_RUNNER_PATH)
+        if runner is not None:
+            names_node = _find_assignment(runner.tree, "POLICY_NAMES")
+            if isinstance(names_node, (ast.Tuple, ast.List)):
+                policies.extend(
+                    (element.value, runner.rel_path, element.lineno)
+                    for element in names_node.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                )
+        cache_dir = project.root / _CACHE_DIR
+        if cache_dir.is_dir():
+            for path in sorted(cache_dir.glob("*.py")):
+                rel = f"{_CACHE_DIR}/{path.name}"
+                module = project.module(rel)
+                if module is None:
+                    continue
+                for node in ast.walk(module.tree):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    func = node.func
+                    if not (
+                        isinstance(func, ast.Attribute) and func.attr == "register"
+                    ):
+                        continue
+                    if (
+                        node.args
+                        and isinstance(node.args[0], ast.Constant)
+                        and isinstance(node.args[0].value, str)
+                    ):
+                        policies.append((node.args[0].value, rel, node.lineno))
+        return policies

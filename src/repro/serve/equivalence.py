@@ -10,8 +10,14 @@ identical traffic counters.  This module provides the two instrumented
 paths; ``tests/test_serve_equivalence.py`` pins the guarantee.
 
 Scope: online policies only (``nocache``, ``replica``, ``benefit``,
-``vcover``).  ``soptimal`` prepares offline over the full future trace,
-which a server that sees events one at a time cannot do by construction.
+``vcover``, and the ``adaptive`` meta-policy, whose decisions depend only on
+events already seen).  ``soptimal`` prepares offline over the full future
+trace, which a server that sees events one at a time cannot do by
+construction.  One asymmetry to know about: the replay engine calls
+``finalize()`` at end-of-trace (closing the adaptive policy's trailing
+scoring epoch) while the server never does -- ``finalize`` books no decisions
+and no real-link traffic, so the decision logs and traffic counters still
+match exactly; only ``stats()`` epoch counters may differ between the paths.
 """
 
 from __future__ import annotations

@@ -40,7 +40,7 @@ from repro.sim.runner import default_policy_specs
 from repro.workload.trace import TraceStream, event_to_dict
 
 #: Policies the served path supports (soptimal needs the future trace).
-SERVABLE_POLICIES = ("nocache", "replica", "benefit", "vcover")
+SERVABLE_POLICIES = ("nocache", "replica", "benefit", "vcover", "adaptive")
 
 
 @dataclass

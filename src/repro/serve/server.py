@@ -91,7 +91,7 @@ class CacheServer:
             raise ValueError(
                 "soptimal needs offline preparation over the full trace; "
                 "the served path only sees events as they arrive -- serve an "
-                "online policy (nocache, replica, benefit, vcover)"
+                "online policy (nocache, replica, benefit, vcover, adaptive)"
             )
         self._repository = Repository(catalog, keep_update_log=False)
         self._link = NetworkLink()

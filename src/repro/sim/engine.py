@@ -147,6 +147,10 @@ class SimulationEngine:
         policy_stats: Dict[str, float] = {}
         if hasattr(policy, "stats"):
             policy_stats = policy.stats()
+        # Policies that track online-vs-offline regret (the adaptive
+        # meta-policy) expose it through this duck-typed hook.
+        regret_hook = getattr(policy, "regret_summary", None)
+        regret = regret_hook() if callable(regret_hook) else None
 
         return RunResult(
             policy_name=policy.name,
@@ -159,4 +163,5 @@ class SimulationEngine:
             policy_stats=policy_stats,
             warmup_traffic=warmup_traffic if config.measure_from > 0 else 0.0,
             occupancy=occupancy,
+            regret=regret,
         )

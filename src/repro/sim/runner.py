@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.core.adaptive import AdaptiveConfig, AdaptivePolicy
 from repro.core.benefit import BenefitConfig, BenefitPolicy
 from repro.core.policy import CachePolicy
 from repro.core.vcover import VCoverConfig, VCoverPolicy
@@ -32,6 +33,11 @@ from repro.repository.server import Repository
 from repro.sim.engine import EngineConfig, SimulationEngine
 from repro.sim.results import ComparisonResult, RunResult
 from repro.workload.trace import TraceStream
+
+#: Every policy name the runner can build, in canonical report order.  The
+#: docs-drift lint rule (REG002) reads this tuple to keep docs/policies.md
+#: in sync with the buildable set.
+POLICY_NAMES = ("nocache", "replica", "benefit", "vcover", "soptimal", "adaptive")
 
 #: Signature of a policy factory: (repository, capacity, link) -> policy.
 PolicyFactory = Callable[[Repository, float, NetworkLink], CachePolicy]
@@ -89,6 +95,15 @@ def _build_vcover(
     return VCoverPolicy(repository, capacity, link, config or VCoverConfig())
 
 
+def _build_adaptive(
+    repository: Repository,
+    capacity: float,
+    link: NetworkLink,
+    config: Optional[AdaptiveConfig] = None,
+) -> AdaptivePolicy:
+    return AdaptivePolicy(repository, capacity, link, config or AdaptiveConfig())
+
+
 def nocache_spec(name: str = "nocache") -> PolicySpec:
     """Spec for the NoCache yardstick."""
     return PolicySpec(name, _build_nocache)
@@ -118,12 +133,24 @@ def vcover_spec(
     return PolicySpec(name, partial(_build_vcover, config=config))
 
 
+def adaptive_spec(
+    config: Optional[AdaptiveConfig] = None, name: str = "adaptive"
+) -> PolicySpec:
+    """Spec for the adaptive meta-policy, optionally with a custom config."""
+    return PolicySpec(name, partial(_build_adaptive, config=config))
+
+
 def default_policy_specs(
     vcover_config: Optional[VCoverConfig] = None,
     benefit_config: Optional[BenefitConfig] = None,
     include: Sequence[str] = ("nocache", "replica", "benefit", "vcover", "soptimal"),
 ) -> List[PolicySpec]:
     """The paper's two algorithms plus three yardsticks.
+
+    The adaptive meta-policy is buildable by name but not part of the
+    default ``include`` set (the paper's comparisons are between static
+    policies); its shadowed Benefit/VCover arms inherit the same
+    configuration overrides as the standalone policies.
 
     Parameters
     ----------
@@ -132,12 +159,17 @@ def default_policy_specs(
     include:
         Which policies to build specs for (in the returned order).
     """
+    adaptive_config = AdaptiveConfig(
+        benefit_window=(benefit_config or BenefitConfig()).window_size,
+        vcover=vcover_config,
+    )
     available: Dict[str, PolicySpec] = {
         "nocache": nocache_spec(),
         "replica": replica_spec(),
         "benefit": benefit_spec(benefit_config),
         "vcover": vcover_spec(vcover_config),
         "soptimal": soptimal_spec(),
+        "adaptive": adaptive_spec(adaptive_config),
     }
     unknown = [name for name in include if name not in available]
     if unknown:

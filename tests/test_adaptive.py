@@ -1,0 +1,289 @@
+"""Adaptive meta-policy and per-epoch regret tests.
+
+Three layers are pinned here:
+
+* :class:`repro.core.regret.RegretTracker` -- the non-negativity argument
+  (the cover-plus-forced lower bound really is a lower bound for any
+  *consistent* online schedule) and exactness (replaying the offline-optimal
+  cover yields zero regret);
+* :class:`repro.core.adaptive.AdaptivePolicy` -- config validation, the
+  mirror-the-live-arm accounting (a single-candidate meta-policy must book
+  exactly the candidate's traffic), and the forced-query scoping (a
+  nocache-pinned meta-policy has zero regret by construction);
+* the registered ``adaptive_vs_static`` experiment -- per-scenario rows,
+  regret surfaced for every adaptive run, and the beats-or-matches verdict.
+
+The byte-exact determinism of the full pipeline (scores, switches, regret
+solves) is pinned separately by the ``adaptive`` fixture in
+``tests/test_determinism.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import api
+from repro.core.adaptive import ADAPTIVE_CANDIDATES, AdaptiveConfig, AdaptivePolicy
+from repro.core.regret import RegretTracker
+from repro.experiments.adaptive import format_report
+from repro.experiments.config import ExperimentConfig, build_scenario
+from repro.flow.vertex_cover import BipartiteCoverInstance, min_weight_vertex_cover
+from repro.sim.engine import EngineConfig
+from repro.sim.runner import adaptive_spec, default_policy_specs, run_policy
+
+
+class TestAdaptiveConfig:
+    def test_defaults_valid(self):
+        config = AdaptiveConfig()
+        assert config.candidates == ADAPTIVE_CANDIDATES
+        assert config.initial in config.candidates
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"epoch_length": 0}, "epoch_length"),
+            ({"candidates": ()}, "candidates"),
+            ({"candidates": ("nocache", "nocache")}, "duplicate"),
+            ({"candidates": ("nocache", "soptimal")}, "unknown candidates"),
+            ({"candidates": ("vcover",), "initial": "nocache"}, "initial arm"),
+            ({"discount": 1.0}, "discount"),
+            ({"discount": -0.1}, "discount"),
+            ({"switch_margin": 1.0}, "switch_margin"),
+            ({"switch_horizon": 0.0}, "switch_horizon"),
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            AdaptiveConfig(**kwargs)
+
+
+# Costs on a 0.25 quantum (same rationale as tests/strategies.py): optimal
+# covers are separated by at least 0.25, never decided by float noise.
+_cost = st.integers(min_value=1, max_value=32).map(lambda n: n / 4.0)
+
+
+@st.composite
+def observed_epochs(draw):
+    """One epoch of observations from a *consistent* online schedule.
+
+    Consistency is the premise of the lower-bound argument: a query answered
+    at the cache (not shipped) is only legal once every update it interacts
+    with has been shipped, and a shipped update is paid for exactly once.
+    """
+    update_costs = {
+        update_id: draw(_cost)
+        for update_id in range(draw(st.integers(min_value=0, max_value=5)))
+    }
+    queries = []
+    for query_id in range(draw(st.integers(min_value=1, max_value=6))):
+        interacting = draw(
+            st.sets(st.sampled_from(sorted(update_costs)), max_size=len(update_costs))
+            if update_costs
+            else st.just(set())
+        )
+        queries.append(
+            (
+                query_id,
+                draw(_cost),
+                {update_id: update_costs[update_id] for update_id in interacting},
+                draw(st.booleans()),  # shipped?
+            )
+        )
+    forced_costs = draw(st.lists(_cost, max_size=3))
+    return queries, forced_costs
+
+
+class TestRegretTracker:
+    def test_empty_epoch_has_zero_regret(self):
+        tracker = RegretTracker()
+        epoch = tracker.close_epoch()
+        assert epoch.observed_cost == 0.0
+        assert epoch.offline_cost == 0.0
+        assert epoch.regret == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(observed_epochs())
+    def test_regret_non_negative_for_consistent_schedules(self, epoch_draw):
+        """observed >= forced + min-cover for any consistent online schedule.
+
+        The clamp in ``EpochRegret.regret`` must only ever absorb float
+        noise, so the un-clamped difference is asserted directly.
+        """
+        queries, forced_costs = epoch_draw
+        tracker = RegretTracker()
+        shipped_updates = {}
+        for query_id, cost, interacting, shipped in queries:
+            tracker.observe_query(query_id, cost, interacting, shipped)
+            if not shipped:
+                # Consistency: answering at the cache requires every
+                # interacting update to have been shipped (once).
+                for update_id, update_cost in interacting.items():
+                    shipped_updates.setdefault(update_id, update_cost)
+        for cost in forced_costs:
+            tracker.observe_forced_query(cost)
+        tracker.observe_update_traffic(sum(shipped_updates.values()))
+        epoch = tracker.close_epoch()
+        assert epoch.observed_cost >= epoch.offline_cost - 1e-9
+        assert epoch.regret == pytest.approx(
+            epoch.observed_cost - epoch.offline_cost, abs=1e-9
+        )
+
+    def test_zero_regret_when_replaying_the_offline_optimum(self):
+        """An online schedule that ships exactly the min cover has regret 0."""
+        left = {1: 4.0, 2: 1.0, 3: 2.5}
+        right = {10: 0.5, 11: 3.0, 12: 1.0}
+        edges = [(1, 10), (1, 11), (2, 11), (3, 12), (3, 10)]
+        cover = min_weight_vertex_cover(
+            BipartiteCoverInstance.from_iterables(left, right, edges)
+        )
+        tracker = RegretTracker()
+        for query_id, cost in left.items():
+            interacting = {u: right[u] for q, u in edges if q == query_id}
+            tracker.observe_query(
+                query_id, cost, interacting, shipped=query_id in cover.left_in_cover
+            )
+        tracker.observe_update_traffic(
+            sum(right[update_id] for update_id in cover.right_in_cover)
+        )
+        tracker.observe_forced_query(7.5)  # charged to both sides
+        epoch = tracker.close_epoch()
+        assert epoch.offline_cost == pytest.approx(cover.weight + 7.5)
+        assert epoch.regret == pytest.approx(0.0, abs=1e-9)
+
+    def test_forced_only_epoch_has_zero_regret(self):
+        tracker = RegretTracker()
+        for cost in (1.0, 2.5, 4.0):
+            tracker.observe_forced_query(cost)
+        epoch = tracker.close_epoch()
+        assert epoch.observed_cost == pytest.approx(7.5)
+        assert epoch.regret == 0.0
+
+    def test_summary_aggregates_across_epochs(self):
+        tracker = RegretTracker()
+        tracker.observe_forced_query(3.0)
+        tracker.observe_update_traffic(2.0)  # pure slack: 2.0 regret
+        tracker.close_epoch()
+        tracker.observe_forced_query(1.0)
+        tracker.close_epoch()
+        summary = tracker.summary()
+        assert summary["epochs"] == 2.0
+        assert summary["observed_traffic"] == pytest.approx(6.0)
+        assert summary["offline_traffic"] == pytest.approx(4.0)
+        assert summary["total"] == pytest.approx(2.0)
+        assert summary["mean_per_epoch"] == pytest.approx(1.0)
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    config = ExperimentConfig(
+        object_count=24, query_count=500, update_count=500, sample_every=250, seed=3
+    )
+    scenario = build_scenario(config)
+    engine = EngineConfig(
+        sample_every=config.sample_every, measure_from=config.measure_from
+    )
+    capacity = scenario.catalog.total_size * config.cache_fraction
+    return scenario, engine, capacity
+
+
+def run_adaptive(small_scenario, **config_kwargs):
+    scenario, engine, capacity = small_scenario
+    spec = adaptive_spec(AdaptiveConfig(epoch_length=100, **config_kwargs))
+    return run_policy(spec, scenario.catalog, scenario.trace, capacity, engine)
+
+
+class TestAdaptivePolicy:
+    def test_nocache_pinned_has_zero_regret(self, small_scenario):
+        """Every query is forced under nocache, so observed == offline."""
+        run = run_adaptive(small_scenario, candidates=("nocache",), initial="nocache")
+        assert run.regret is not None
+        assert run.regret["epochs"] > 1
+        assert run.regret["total"] == pytest.approx(0.0, abs=1e-9)
+        assert run.regret["observed_traffic"] == pytest.approx(
+            run.regret["offline_traffic"]
+        )
+
+    def test_single_candidate_mirrors_exactly(self, small_scenario):
+        """A one-arm meta-policy books exactly the arm's own traffic."""
+        scenario, engine, capacity = small_scenario
+        run = run_adaptive(small_scenario, candidates=("vcover",), initial="vcover")
+        spec = default_policy_specs(include=("vcover",))[0]
+        direct = run_policy(spec, scenario.catalog, scenario.trace, capacity, engine)
+        assert run.total_traffic == pytest.approx(direct.total_traffic, abs=1e-9)
+        for mechanism, cost in direct.traffic_by_mechanism.items():
+            assert run.traffic_by_mechanism.get(mechanism, 0.0) == pytest.approx(
+                cost, abs=1e-9
+            )
+        assert run.queries_answered_at_cache == direct.queries_answered_at_cache
+
+    def test_regret_epochs_non_negative_on_real_run(self, small_scenario):
+        run = run_adaptive(small_scenario)
+        assert run.regret is not None
+        assert run.regret["total"] >= 0.0
+        assert run.regret["epochs"] >= 4  # 1000 events / epoch_length 100, warmup off
+
+    def test_track_regret_off_omits_summary(self, small_scenario):
+        run = run_adaptive(small_scenario, track_regret=False)
+        assert run.regret is None
+        assert "regret_total" not in run.policy_stats
+
+    def test_stats_expose_arm_accounting(self, small_scenario):
+        run = run_adaptive(small_scenario)
+        stats = run.policy_stats
+        assert stats["epochs"] == sum(
+            stats[f"arm_{name}_epochs"] for name in ADAPTIVE_CANDIDATES
+        )
+        assert stats["switches"] >= 0.0
+        assert stats["switch_traffic"] >= 0.0
+
+    def test_engine_reports_no_occupancy_for_meta_policy(self, small_scenario):
+        # The meta-policy has no cache store of its own (each shadow arm
+        # does); the engine must not fabricate an occupancy series for it.
+        run = run_adaptive(small_scenario)
+        assert run.occupancy is None
+
+
+class TestAdaptiveExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return api.run_experiment(
+            "adaptive_vs_static",
+            overrides={
+                "object_count": 24,
+                "query_count": 800,
+                "update_count": 800,
+                "models": ("diurnal", "update_storm"),
+                "fuzz_seeds": (5,),
+            },
+        )
+
+    def test_one_row_per_scenario(self, result):
+        assert [row.scenario for row in result.rows] == [
+            "diurnal",
+            "update_storm",
+            "fuzz-5",
+        ]
+
+    def test_regret_surfaced_for_every_adaptive_run(self, result):
+        for row in result.rows:
+            assert row.regret_total is not None
+            assert row.regret_total >= 0.0
+
+    def test_best_static_is_a_static(self, result):
+        for row in result.rows:
+            assert row.best_static != "adaptive"
+            assert row.best_static_traffic > 0.0
+
+    def test_adaptive_beats_or_matches_best_static(self, result):
+        # The headline acceptance claim, on a scaled-down grid: the
+        # meta-policy matches the per-scenario best static (within the
+        # tolerance) on at least two scenarios.
+        assert result.wins() >= 2
+
+    def test_report_formats(self, result):
+        report = format_report(result)
+        assert "beats or matches the best static" in report
+        for row in result.rows:
+            assert row.scenario in report

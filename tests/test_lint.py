@@ -541,6 +541,77 @@ class TestReg001:
 
 
 # ----------------------------------------------------------------------
+# REG002: policy roster vs docs/policies.md
+# ----------------------------------------------------------------------
+_REG2_RUNNER = """
+    POLICY_NAMES = ("nocache", "vcover")
+"""
+_REG2_EVICTION = """
+    from repro.cache.base import registry
+
+    class GreedyDualSize:
+        pass
+
+    registry.register("gds", GreedyDualSize)
+"""
+
+
+class TestReg002:
+    def test_documented_roster_clean(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/sim/runner.py": _REG2_RUNNER,
+            "src/repro/cache/gds.py": _REG2_EVICTION,
+            "docs/policies.md": "| `nocache` | `vcover` | `gds` |\n",
+        })
+        assert lint_rules(project, "src", rule="REG002") == []
+
+    def test_missing_docs_page_flagged_once(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/sim/runner.py": _REG2_RUNNER,
+            "src/repro/cache/gds.py": _REG2_EVICTION,
+        })
+        findings = lint_rules(project, "src", rule="REG002")
+        assert len(findings) == 1
+        assert "does not exist" in findings[0].message
+        assert findings[0].path == "src/repro/sim/runner.py"
+
+    def test_undocumented_engine_policy_flagged(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/sim/runner.py": """
+                POLICY_NAMES = ("nocache", "adaptive")
+            """,
+            "docs/policies.md": "Only `nocache` here.\n",
+        })
+        findings = lint_rules(project, "src", rule="REG002")
+        assert len(findings) == 1
+        assert "'adaptive'" in findings[0].message
+        assert findings[0].path == "src/repro/sim/runner.py"
+
+    def test_undocumented_eviction_policy_flagged(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/cache/lru.py": """
+                from repro.cache.base import registry
+
+                class LRUPolicy:
+                    pass
+
+                registry.register("lru", LRUPolicy)
+            """,
+            "docs/policies.md": "Nothing registered yet.\n",
+        })
+        findings = lint_rules(project, "src", rule="REG002")
+        assert len(findings) == 1
+        assert "'lru'" in findings[0].message
+        assert findings[0].path == "src/repro/cache/lru.py"
+
+    def test_bare_project_yields_nothing(self, tmp_path):
+        project = make_project(tmp_path, {
+            "src/repro/foo.py": "X = 1\n",
+        })
+        assert lint_rules(project, "src", rule="REG002") == []
+
+
+# ----------------------------------------------------------------------
 # ASYNC001: blocking calls inside async def in serve code
 # ----------------------------------------------------------------------
 class TestAsync001:
