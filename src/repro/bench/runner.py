@@ -32,10 +32,21 @@ from repro.bench.schema import SCHEMA_ID, validate_payload
 from repro.bench.suites import BenchCase, get_suite
 from repro.core.benefit import BenefitConfig
 from repro.experiments.config import build_scenario, build_scenario_stream
+from repro.perf import (
+    PHASE_COVER_SOLVE,
+    PHASE_METRICS,
+    reset_phase_times,
+    snapshot_phase_times,
+)
 from repro.sim.engine import EngineConfig
 from repro.sim.multicache import run_topology
 from repro.sim.runner import default_policy_specs, run_policy
 from repro.topology.spec import TopologySpec
+
+#: Phase names the runner emits in each case's ``phases`` block.  Must match
+#: :data:`repro.bench.schema.PHASE_NAMES` exactly -- lint rule REG003 keeps
+#: the two tables in sync.
+PHASE_KEYS = ("trace_compile", "batch_dispatch", "cover_solve", "metrics")
 
 
 def peak_rss_mb() -> float:
@@ -105,11 +116,18 @@ def _run_case(case: BenchCase) -> Dict[str, Any]:
         scenario = build_scenario(config)
         catalog, trace = scenario.catalog, scenario.trace
     build_seconds = time.perf_counter() - build_start
+    compile_start = time.perf_counter()
     if not case.streaming:
         # The replay loop dispatches off the tagged view; build it outside
         # the timed region so every policy (and the baseline it is compared
-        # to) measures the same thing.
+        # to) measures the same thing.  The columnar compilation the batched
+        # executors dispatch off is part of the same precompute.
         trace.tagged_events()
+        from repro.workload.columns import COLUMNS_AVAILABLE
+
+        if COLUMNS_AVAILABLE:
+            trace.columns()
+    compile_seconds = time.perf_counter() - compile_start
 
     engine = EngineConfig(
         sample_every=config.sample_every, measure_from=config.measure_from
@@ -125,10 +143,16 @@ def _run_case(case: BenchCase) -> Dict[str, Any]:
 
     events = len(trace)
     policy_rows: List[Dict[str, Any]] = []
+    # Replay phase totals across the case's policy rows (best repeat each),
+    # read from the repro.perf accumulators bracketing every timed run.
+    case_cover_solve = 0.0
+    case_metrics = 0.0
     for spec in specs:
         best: Optional[float] = None
+        best_phases: Dict[str, float] = {}
         run = None
         for _ in range(max(1, case.repeats)):
+            reset_phase_times()
             start = time.perf_counter()
             if case.sites > 1:
                 topology = TopologySpec.uniform(spec, case.sites, cache_fraction=fraction)
@@ -138,7 +162,10 @@ def _run_case(case: BenchCase) -> Dict[str, Any]:
             elapsed = time.perf_counter() - start
             if best is None or elapsed < best:
                 best = elapsed
+                best_phases = snapshot_phase_times()
         assert run is not None and best is not None
+        case_cover_solve += best_phases.get(PHASE_COVER_SOLVE, 0.0)
+        case_metrics += best_phases.get(PHASE_METRICS, 0.0)
         row: Dict[str, Any] = {
             "policy": spec.name,
             "wall_clock_s": best,
@@ -154,6 +181,16 @@ def _run_case(case: BenchCase) -> Dict[str, Any]:
         policy_rows.append(row)
 
     total_wall = sum(row["wall_clock_s"] for row in policy_rows)
+    # The breakdown localises regressions: trace_compile is the one-time
+    # build + precompute, cover_solve and metrics come from the perf
+    # accumulators, and batch_dispatch is the rest of the replay wall-clock
+    # (event dispatch itself, batched or scalar).
+    phases = {
+        "trace_compile": build_seconds + compile_seconds,
+        "batch_dispatch": max(0.0, total_wall - case_cover_solve - case_metrics),
+        "cover_solve": case_cover_solve,
+        "metrics": case_metrics,
+    }
     return {
         "name": case.name,
         "description": case.description,
@@ -165,6 +202,7 @@ def _run_case(case: BenchCase) -> Dict[str, Any]:
         "wall_clock_s": total_wall,
         "events_per_s": (events * len(policy_rows)) / total_wall if total_wall > 0 else 0.0,
         "peak_rss_mb": peak_rss_mb(),
+        "phases": phases,
         "policies": policy_rows,
     }
 
@@ -258,12 +296,28 @@ def format_payload(payload: Dict[str, Any]) -> str:
         f"jobs {payload['jobs']})",
         f"{'case':<20} {'policy':<10} {'wall s':>9} {'events/s':>12} {'traffic MB':>12}",
     ]
+    has_phases = False
     for case in payload["cases"]:
         for row in case["policies"]:
             lines.append(
                 f"{case['name']:<20} {row['policy']:<10} "
                 f"{row['wall_clock_s']:>9.3f} {row['events_per_s']:>12.0f} "
                 f"{row['total_traffic_mb']:>12.1f}"
+            )
+        if case.get("phases"):
+            has_phases = True
+    if has_phases:
+        lines.append("")
+        lines.append(
+            f"{'case':<20} " + " ".join(f"{key:>14}" for key in PHASE_KEYS)
+        )
+        for case in payload["cases"]:
+            phases = case.get("phases")
+            if not phases:
+                continue
+            lines.append(
+                f"{case['name']:<20} "
+                + " ".join(f"{phases[key]:>13.3f}s" for key in PHASE_KEYS)
             )
     totals = payload["totals"]
     lines.append(

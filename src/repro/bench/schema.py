@@ -4,11 +4,13 @@ A hand-rolled validator (the toolchain deliberately has no jsonschema
 dependency) that pins the payload layout CI and the comparison tool rely
 on.  ``SCHEMA_ID`` is bumped whenever the layout changes; v2 is a strict
 superset of v1 (it adds an *optional* per-policy ``latency`` block recorded
-by the ``repro loadgen`` served-mode harness, and an *optional* per-policy
+by the ``repro loadgen`` served-mode harness, an *optional* per-policy
 ``regret`` block recorded by regret-tracking policies such as the adaptive
-meta-policy), so every v1 payload -- including committed baselines -- still
-validates.  :func:`validate_payload` raises :class:`BenchSchemaError` with a
-path-qualified message on the first violation it finds.
+meta-policy, and an *optional* per-case ``phases`` block breaking the case's
+wall-clock down by :data:`PHASE_NAMES`), so every v1 payload -- including
+committed baselines -- still validates.  :func:`validate_payload` raises
+:class:`BenchSchemaError` with a path-qualified message on the first
+violation it finds.
 """
 
 from __future__ import annotations
@@ -87,6 +89,21 @@ _LATENCY_FIELDS: Dict[str, _FieldType] = {
     "max": _NUMBER,
 }
 
+#: v2 only: the allowed (and required) keys of the optional per-case
+#: ``phases`` block -- the wall-clock breakdown the runner records.  This
+#: table is the contract between the runner and every payload consumer: the
+#: runner's ``PHASE_KEYS`` must match it exactly (REG003 lints the pair),
+#: and the validator rejects phase names outside it, so a new phase timer
+#: cannot ship without widening the schema (and the docs) first.
+#:
+#: * ``trace_compile`` -- scenario build plus the tagged/columnar trace
+#:   precompute, outside the timed replay,
+#: * ``batch_dispatch`` -- replay wall-clock not attributed to a finer
+#:   phase (event dispatch, batched or scalar),
+#: * ``cover_solve`` -- max-flow solves under the vertex-cover reduction,
+#: * ``metrics`` -- traffic/occupancy series sampling in the engines.
+PHASE_NAMES = ("trace_compile", "batch_dispatch", "cover_solve", "metrics")
+
 #: v2 only: required keys of the optional per-policy ``regret`` block (the
 #: :meth:`repro.core.regret.RegretTracker.summary` payload, all MB except
 #: the epoch count).
@@ -117,6 +134,39 @@ def _check_fields(mapping: object, fields: Dict[str, _FieldType], where: str) ->
                 f"{where}.{key}: expected {getattr(expected, '__name__', 'number')}, "
                 f"got {type(value).__name__}"
             )
+
+
+def _check_phases(phases: object, schema: str, where: str) -> None:
+    """Validate one per-case ``phases`` block against :data:`PHASE_NAMES`."""
+    if schema == SCHEMA_V1:
+        raise BenchSchemaError(
+            f"{where}: phase breakdowns require {SCHEMA_ID!r} "
+            f"(payload declares {SCHEMA_V1!r})"
+        )
+    if not isinstance(phases, dict):
+        raise BenchSchemaError(
+            f"{where}: expected an object, got {type(phases).__name__}"
+        )
+    # Unlike the rest of the schema, unknown keys are *rejected* here: the
+    # phase table is the runner/consumer contract, so an unlisted phase name
+    # is a bug (a timer added without widening PHASE_NAMES), not forward
+    # compatibility.
+    for key in phases:
+        if key not in PHASE_NAMES:
+            raise BenchSchemaError(
+                f"{where}.{key}: unknown phase; allowed phases are "
+                f"{', '.join(PHASE_NAMES)}"
+            )
+    for name in PHASE_NAMES:
+        if name not in phases:
+            raise BenchSchemaError(f"{where}: missing required phase {name!r}")
+        value = phases[name]
+        if not isinstance(value, _NUMBER) or isinstance(value, bool):
+            raise BenchSchemaError(
+                f"{where}.{name}: expected number, got {type(value).__name__}"
+            )
+        if value < 0:
+            raise BenchSchemaError(f"{where}.{name}: negative phase time {value!r}")
 
 
 def validate_payload(payload: object) -> None:
@@ -150,6 +200,9 @@ def validate_payload(payload: object) -> None:
         seen.add(case["name"])
         if not case["policies"]:
             raise BenchSchemaError(f"{where}.policies: must not be empty")
+        phases = case.get("phases")
+        if phases is not None:
+            _check_phases(phases, schema, f"{where}.phases")
         for index, row in enumerate(case["policies"]):
             row_where = f"{where}.policies[{index}]"
             _check_fields(row, _POLICY_FIELDS, row_where)

@@ -116,6 +116,17 @@ SUITES: Dict[str, Tuple[BenchCase, ...]] = {
             policies=("adaptive", "vcover"),
             repeats=3,
         ),
+        _case(
+            "columnar-quick",
+            "batched yardstick replay over a 40k-event trace (columnar core)",
+            overrides={
+                "query_count": 20_000,
+                "update_count": 20_000,
+                "sample_every": 2_000,
+            },
+            policies=("nocache", "replica"),
+            repeats=3,
+        ),
     ),
     "full": (
         _case(

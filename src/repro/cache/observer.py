@@ -130,6 +130,23 @@ class PolicyObserver:
         """Record a query shipped to the server."""
         self._shipped_queries += 1
 
+    def note_batch(
+        self,
+        queries: int = 0,
+        updates: int = 0,
+        cache_answers: int = 0,
+        shipped_queries: int = 0,
+    ) -> None:
+        """Record a whole event batch at once (the batched replay path).
+
+        All counters are plain integers, so batch increments are exactly
+        equivalent to the per-event hooks above.
+        """
+        self._queries_seen += queries
+        self._updates_seen += updates
+        self._cache_answers += cache_answers
+        self._shipped_queries += shipped_queries
+
     # ------------------------------------------------------------------
     # Reading the totals
     # ------------------------------------------------------------------

@@ -52,7 +52,9 @@ Classic workflows (all re-expressed over the facade):
     Run a timed benchmark suite (``--suite quick|full``), write the
     machine-readable result JSON (``--out``), and/or compare a result
     against a baseline (``--compare BASELINE.json --tolerance 0.15``;
-    exit code 3 when a timing regressed beyond the tolerance).
+    exit code 3 when a timing regressed beyond the tolerance). The
+    summary includes the per-case phase breakdown (trace compile, batch
+    dispatch, cover solve, metrics) when the payload carries one.
 
 ``lint``
     Run the repro static analyser over the tree (``repro lint src tests``):
@@ -725,7 +727,9 @@ def build_parser() -> argparse.ArgumentParser:
     topology.set_defaults(handler=_cmd_topology)
 
     bench = subparsers.add_parser(
-        "bench", help="run timed benchmark suites and compare against baselines"
+        "bench",
+        help="run timed benchmark suites (with per-phase breakdowns) and "
+        "compare against baselines",
     )
     bench.add_argument("--suite", choices=("quick", "full", "stress"), default="quick",
                        help="suite to run (default: quick)")

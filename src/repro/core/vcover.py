@@ -36,8 +36,10 @@ from repro.repository.updates import Update
 class VCoverConfig:
     """Configuration of the VCover policy."""
 
-    #: Max-flow solver used by the UpdateManager ("edmonds-karp" or "dinic").
-    flow_method: str = "edmonds-karp"
+    #: Max-flow solver used by the UpdateManager: "edmonds-karp", "dinic",
+    #: "push-relabel", or "auto" (the default -- Edmonds-Karp on small
+    #: interaction graphs, gap-heuristic push-relabel on large covers).
+    flow_method: str = "auto"
     #: Use the randomized loading mechanism (False = deterministic counters).
     randomized_loading: bool = True
     #: Seed for the LoadManager's randomness.

@@ -4,7 +4,10 @@ This package contains from-scratch implementations of the graph algorithms the
 Delta decision framework relies on:
 
 * :mod:`repro.flow.graph` -- a residual flow-network data structure,
-* :mod:`repro.flow.maxflow` -- Edmonds-Karp and Dinic maximum-flow solvers,
+* :mod:`repro.flow.maxflow` -- Edmonds-Karp and Dinic maximum-flow solvers
+  plus the size-adaptive ``"auto"`` dispatch,
+* :mod:`repro.flow.pushrelabel` -- the gap-heuristic push-relabel solver
+  used for large covers,
 * :mod:`repro.flow.incremental` -- an incremental max-flow solver that
   warm-starts from a previously computed flow when the network grows
   (the key primitive behind the ``UpdateManager`` in VCover),
@@ -18,7 +21,12 @@ residual state that VCover needs.
 
 from repro.flow.graph import FlowNetwork
 from repro.flow.incremental import IncrementalMaxFlow
-from repro.flow.maxflow import dinic_max_flow, edmonds_karp_max_flow
+from repro.flow.maxflow import (
+    dinic_max_flow,
+    edmonds_karp_max_flow,
+    solve_max_flow,
+)
+from repro.flow.pushrelabel import push_relabel_max_flow
 from repro.flow.vertex_cover import (
     BipartiteCoverInstance,
     CoverResult,
@@ -30,6 +38,8 @@ __all__ = [
     "IncrementalMaxFlow",
     "dinic_max_flow",
     "edmonds_karp_max_flow",
+    "push_relabel_max_flow",
+    "solve_max_flow",
     "BipartiteCoverInstance",
     "CoverResult",
     "min_weight_vertex_cover",

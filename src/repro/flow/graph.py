@@ -182,13 +182,18 @@ class FlowNetwork:
         return len(self._edge_index)
 
     def flow_value(self, source: Vertex) -> float:
-        """Total flow leaving ``source`` (the value of the current flow)."""
+        """Net flow leaving ``source`` (the value of the current flow).
+
+        Outgoing forward flow minus incoming forward flow.  A reverse arc at
+        the source carries ``-flow`` of its inbound partner, so both kinds
+        contribute with a plain ``+``.  The subtraction matters: push-relabel
+        may legally drain excess back through a forward arc *into* the
+        source, leaving a circulation that a gross-outflow sum would count
+        as extra value.
+        """
         total = 0.0
         for arc in self._adjacency.get(source, ()):
-            if arc.is_forward:
-                total += arc.flow
-            else:
-                total -= arc.flow
+            total += arc.flow
         return total
 
     def out_flow(self, vertex: Vertex) -> float:

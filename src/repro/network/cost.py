@@ -38,6 +38,18 @@ class LinearCostModel(TrafficCostModel):
             raise ValueError(f"transfer size must be non-negative, got {size!r}")
         return self.factor * size
 
+    def cost_array(self, sizes):
+        """Vectorised :meth:`cost` over a numpy array of sizes.
+
+        Element-for-element this performs the same IEEE multiply as the
+        scalar method, so batched charging stays bitwise identical to
+        per-event charging.  The presence of this method is what marks a
+        cost model as batchable (see :mod:`repro.sim.batched`).
+        """
+        if len(sizes) and sizes.min() < 0:
+            raise ValueError("transfer sizes must be non-negative")
+        return self.factor * sizes
+
 
 @dataclass(frozen=True)
 class AffineCostModel(TrafficCostModel):
@@ -52,3 +64,11 @@ class AffineCostModel(TrafficCostModel):
         if size == 0:
             return 0.0
         return self.overhead + self.factor * size
+
+    def cost_array(self, sizes):
+        """Vectorised :meth:`cost` (same ``overhead + factor * size`` ops)."""
+        if len(sizes) and sizes.min() < 0:
+            raise ValueError("transfer sizes must be non-negative")
+        priced = self.overhead + self.factor * sizes
+        priced[sizes == 0] = 0.0
+        return priced

@@ -143,9 +143,49 @@ class NetworkLink:
         """Charge an object-loading transfer."""
         return self.charge(Mechanism.OBJECT_LOADING, size, timestamp, object_id=object_id)
 
+    def charge_batch(self, mechanism: str, priced_costs) -> None:
+        """Charge a batch of already-priced same-mechanism transfers.
+
+        ``priced_costs`` is a numpy array of per-transfer costs (the caller
+        applies the cost model vectorised, see
+        :meth:`repro.network.cost.LinearCostModel.cost_array`).  The running
+        total is folded left-to-right via ``cumsum``, which performs exactly
+        the same sequence of IEEE additions as charging each transfer
+        individually -- the batched replay path depends on that to stay
+        byte-identical to the scalar path.
+
+        Only available on record-free links: per-transfer provenance cannot
+        be reconstructed from a batch, so ``keep_records`` links must charge
+        event by event.
+        """
+        if mechanism not in Mechanism.ALL:
+            raise ValueError(f"unknown mechanism {mechanism!r}")
+        if self._keep_records:
+            raise RuntimeError("charge_batch is not supported on recording links")
+        count = len(priced_costs)
+        if count == 0:
+            return
+        import numpy
+
+        folded = numpy.empty(count + 1, dtype=numpy.float64)
+        folded[0] = self._totals[mechanism]
+        folded[1:] = priced_costs
+        self._totals[mechanism] = float(numpy.cumsum(folded)[-1])
+        self._counts[mechanism] += count
+
     # ------------------------------------------------------------------
     # Reading the ledger
     # ------------------------------------------------------------------
+    @property
+    def cost_model(self) -> TrafficCostModel:
+        """The traffic cost model pricing every transfer."""
+        return self._cost_model
+
+    @property
+    def keep_records(self) -> bool:
+        """Whether individual transfers are retained."""
+        return self._keep_records
+
     @property
     def total_cost(self) -> float:
         """Total traffic cost charged so far, in MB."""

@@ -148,6 +148,42 @@ class Repository:
         for update in updates:
             self.ingest_update(update)
 
+    def ingest_update_columns(self, object_ids, rows, costs) -> None:
+        """Apply a batch of updates given as columnar numpy arrays.
+
+        The vectorised twin of calling :meth:`ingest_update` once per event:
+        version counters and row totals advance by exact integer counts, and
+        each object's ``grown_by`` accumulates its costs in event order via
+        an unbuffered ``np.add.at``, which performs the same sequence of IEEE
+        additions as the scalar path.  Only available on history-free
+        repositories (``keep_update_log=False``) -- the batch drops the
+        update objects themselves, so a log could not be maintained.
+
+        Raises ``KeyError`` if any update references an unknown object.
+        """
+        if self._keep_update_log:
+            raise RuntimeError(
+                "ingest_update_columns requires keep_update_log=False; "
+                "logged repositories must ingest event by event"
+            )
+        count = len(object_ids)
+        if count == 0:
+            return
+        import numpy
+
+        unique_ids, inverse = numpy.unique(object_ids, return_inverse=True)
+        states = [self._states[int(object_id)] for object_id in unique_ids]
+        version_add = numpy.bincount(inverse, minlength=len(unique_ids))
+        rows_add = numpy.zeros(len(unique_ids), dtype=numpy.int64)
+        numpy.add.at(rows_add, inverse, rows)
+        grown = numpy.array([state.grown_by for state in states], dtype=numpy.float64)
+        numpy.add.at(grown, inverse, costs)
+        for position, state in enumerate(states):
+            state.version += int(version_add[position])
+            state.rows += int(rows_add[position])
+            state.grown_by = float(grown[position])
+        self._updates_received += count
+
     def update_log(self, object_id: int) -> Sequence[Update]:
         """Full update log of one object, oldest first."""
         self._require_update_log()
@@ -196,6 +232,20 @@ class Repository:
                 raise KeyError(f"query {query.query_id} touches unknown object {object_id}")
         self._queries_answered += 1
         return query.cost
+
+    def answer_query_batch(self, touched_object_ids, count: int) -> None:
+        """Book ``count`` shipped queries at once (the batched replay path).
+
+        ``touched_object_ids`` is the flat numpy array of every object id the
+        batch's queries touch; membership is validated against the catalogue
+        exactly as :meth:`answer_query` does per query.
+        """
+        import numpy
+
+        for object_id in numpy.unique(touched_object_ids):
+            if int(object_id) not in self._states:
+                raise KeyError(f"query batch touches unknown object {int(object_id)}")
+        self._queries_answered += count
 
     def ship_updates(self, object_id: int, version: int) -> Tuple[List[Update], float]:
         """Ship the outstanding updates for one object.

@@ -29,7 +29,9 @@ from typing import Callable, Dict, Optional
 
 from repro.core.policy import CachePolicy
 from repro.network.link import NetworkLink
+from repro.perf import PHASE_METRICS, add_phase_time, phase_clock
 from repro.repository.server import Repository
+from repro.sim.batched import select_batched_executor
 from repro.sim.metrics import CacheOccupancySeries, TrafficTimeSeries
 from repro.sim.results import RunResult
 from repro.workload.trace import TraceStream
@@ -107,41 +109,55 @@ class SimulationEngine:
         # dispatch instead of isinstance checks, bound methods hoisted out of
         # the loop, and sampling gated by plain counter arithmetic instead of
         # a modulo on every event.
-        ingest_update = self._repository.ingest_update
-        on_update = policy.on_update
-        on_query = policy.on_query
-        next_sample = sample_every
-        index = 0
-        reported_final = False
-        for is_update, payload in trace.iter_tagged():
-            if index == measure_from:
-                warmup_traffic = link.total_cost
-            if is_update:
-                ingest_update(payload)
-                on_update(payload)
-            else:
-                if on_query(payload).answered_at_cache:
-                    answered_at_cache += 1
+        batched = select_batched_executor(policy, trace, self._repository, link)
+        if batched is not None:
+            warmup_traffic, answered_at_cache, shipped = batched.replay(
+                config, series, occupancy, progress
+            )
+        else:
+            ingest_update = self._repository.ingest_update
+            on_update = policy.on_update
+            on_query = policy.on_query
+            next_sample = sample_every
+            index = 0
+            for is_update, payload in trace.iter_tagged():
+                if index == measure_from:
+                    warmup_traffic = link.total_cost
+                if is_update:
+                    ingest_update(payload)
+                    on_update(payload)
                 else:
-                    shipped += 1
-            index += 1
-            if index == next_sample:
-                next_sample += sample_every
-                series.sample(index)
-                if occupancy is not None:
-                    occupancy.sample(index, store.used, store.capacity, len(store))
-                if progress is not None:
-                    progress(index, total_events)
-                    if index == total_events:
-                        reported_final = True
+                    if on_query(payload).answered_at_cache:
+                        answered_at_cache += 1
+                    else:
+                        shipped += 1
+                index += 1
+                # The end-of-run boundary is sampled once in the epilogue
+                # below (after finalize) -- sampling it here too used to
+                # record a duplicate final TrafficSample whenever the trace
+                # length was a multiple of sample_every.
+                if index == next_sample and index < total_events:
+                    next_sample += sample_every
+                    sample_start = phase_clock()
+                    series.sample(index)
+                    if occupancy is not None:
+                        occupancy.sample(index, store.used, store.capacity, len(store))
+                    add_phase_time(PHASE_METRICS, phase_clock() - sample_start)
+                    if progress is not None:
+                        progress(index, total_events)
 
         policy.finalize()
+        sample_start = phase_clock()
         series.sample(total_events)
+        if occupancy is not None:
+            # Occupancy mirrors the traffic series: every run ends with a
+            # sample at total_events, so traces shorter than sample_every no
+            # longer produce an empty occupancy series.
+            occupancy.sample(total_events, store.used, store.capacity, len(store))
+        add_phase_time(PHASE_METRICS, phase_clock() - sample_start)
         if measure_from >= total_events:
             warmup_traffic = link.total_cost
-        if progress is not None and not reported_final:
-            # Short traces never hit a sampling boundary; always report
-            # completion so interactive callers see the run finish.
+        if progress is not None:
             progress(total_events, total_events)
 
         policy_stats: Dict[str, float] = {}

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.network.link import Mechanism, NetworkLink
+from repro.perf import PHASE_METRICS, add_phase_time, phase_clock
 from repro.repository.objects import ObjectCatalog
 from repro.repository.server import Repository
 from repro.sim.engine import EngineConfig
@@ -81,6 +82,31 @@ class MultiCacheEngine:
     def config(self) -> EngineConfig:
         """The engine configuration."""
         return self._config
+
+    @staticmethod
+    def _sample_all(
+        index: int,
+        sites: Sequence[Site],
+        aggregate_series: TrafficTimeSeries,
+        site_series: Sequence[TrafficTimeSeries],
+        site_occupancy: Sequence[Optional[CacheOccupancySeries]],
+        aggregate_occupancy: Optional[CacheOccupancySeries],
+    ) -> None:
+        """Sample every traffic and occupancy series at ``index``."""
+        aggregate_series.sample(index)
+        used = capacity = 0.0
+        resident = 0
+        for position, site in enumerate(sites):
+            site_series[position].sample(index)
+            occupancy = site_occupancy[position]
+            if occupancy is not None:
+                store = site.policy.store
+                occupancy.sample(index, store.used, store.capacity, len(store))
+                used += store.used
+                capacity += store.capacity
+                resident += len(store)
+        if aggregate_occupancy is not None:
+            aggregate_occupancy.sample(index, used, capacity, resident)
 
     def run(self, trace: TraceStream, name: str = "topology") -> TopologyResult:
         """Replay ``trace`` against every site; returns the fleet result.
@@ -145,28 +171,38 @@ class MultiCacheEngine:
 
             # All series share the engine's grid, so the whole sampling block
             # is gated once here (the store reads are wasted work otherwise).
-            if index == next_sample:
+            # The end-of-run boundary is sampled in the epilogue below (after
+            # finalize); sampling it here too used to record duplicate final
+            # TrafficSamples whenever the trace length sat on the grid.
+            if index == next_sample and index < total_events:
                 next_sample += sample_every
-                aggregate_series.sample(index)
-                used = capacity = 0.0
-                resident = 0
-                for position, site in enumerate(sites):
-                    site_series[position].sample(index)
-                    occupancy = site_occupancy[position]
-                    if occupancy is not None:
-                        store = site.policy.store
-                        occupancy.sample(index, store.used, store.capacity, len(store))
-                        used += store.used
-                        capacity += store.capacity
-                        resident += len(store)
-                if aggregate_occupancy is not None:
-                    aggregate_occupancy.sample(index, used, capacity, resident)
+                sample_start = phase_clock()
+                self._sample_all(
+                    index,
+                    sites,
+                    aggregate_series,
+                    site_series,
+                    site_occupancy,
+                    aggregate_occupancy,
+                )
+                add_phase_time(PHASE_METRICS, phase_clock() - sample_start)
 
         for site in sites:
             site.policy.finalize()
-        aggregate_series.sample(total_events)
-        for series in site_series:
-            series.sample(total_events)
+        # End-of-run sample for every series, occupancy included -- the
+        # occupancy series used to stop at the last grid point (or stay empty
+        # for traces shorter than sample_every), asymmetric with the traffic
+        # series.
+        sample_start = phase_clock()
+        self._sample_all(
+            total_events,
+            sites,
+            aggregate_series,
+            site_series,
+            site_occupancy,
+            aggregate_occupancy,
+        )
+        add_phase_time(PHASE_METRICS, phase_clock() - sample_start)
         if config.measure_from >= total_events:
             for position, site in enumerate(sites):
                 site_warmup[position] = site.link.total_cost

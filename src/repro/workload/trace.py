@@ -29,11 +29,24 @@ import json
 from dataclasses import dataclass
 from itertools import islice
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro._compat import SlottedFrozenPickle
 from repro.repository.queries import Query
 from repro.repository.updates import Update
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (columns uses trace)
+    from repro.workload.columns import TraceColumns
 
 
 @dataclass(frozen=True, slots=True)
@@ -187,6 +200,8 @@ class Trace(TraceStream):
                 )
         #: Lazily built (kind, payload) view used by the replay hot loop.
         self._tagged: Optional[List[Tuple[bool, Union[Query, Update]]]] = None
+        #: Lazily compiled columnar view used by the batched replay path.
+        self._columns: Optional["TraceColumns"] = None
 
     # ------------------------------------------------------------------
     # Pickling (sweeps ship traces to worker processes)
@@ -198,6 +213,7 @@ class Trace(TraceStream):
     def __setstate__(self, state: Dict[str, object]) -> None:
         self._events = state["_events"]
         self._tagged = None
+        self._columns = None
 
     # ------------------------------------------------------------------
     # Sequence behaviour
@@ -241,6 +257,22 @@ class Trace(TraceStream):
             tagged = [tag_event(event) for event in self._events]
             self._tagged = tagged
         return tagged
+
+    def columns(self) -> "TraceColumns":
+        """The columnar (struct-of-arrays) compilation of this trace.
+
+        Compiled once and cached -- every batched policy run in a comparison
+        replays the same arrays.  Requires numpy (see
+        :mod:`repro.workload.columns`); the engines check
+        ``COLUMNS_AVAILABLE`` before asking for it.
+        """
+        cols = self._columns
+        if cols is None:
+            from repro.workload.columns import TraceColumns
+
+            cols = TraceColumns.from_tagged(self.tagged_events())
+            self._columns = cols
+        return cols
 
     def queries(self) -> List[Query]:
         """All queries in order."""
@@ -388,6 +420,10 @@ class TraceView(TraceStream):
     def iter_tagged(self) -> Iterator[TaggedEvent]:
         """Window of the parent's cached tagged view (hot path)."""
         return islice(iter(self._parent.tagged_events()), self._start, self._stop)
+
+    def columns(self) -> "TraceColumns":
+        """This window of the parent's columnar compilation (near zero-copy)."""
+        return self._parent.columns().window(self._start, self._stop)
 
     def __getitem__(self, index: int) -> TraceEvent:
         if isinstance(index, slice):

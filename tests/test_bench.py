@@ -45,6 +45,20 @@ def payload():
     return run_suite(TINY_CASES)
 
 
+def downgraded_to_v1(payload):
+    """A deep copy of ``payload`` re-declared as v1.
+
+    Genuine v1 payloads predate the per-case ``phases`` block, so the
+    downgrade strips it -- leaving it in place would (correctly) trip the
+    v2-only check before whatever a test actually targets.
+    """
+    legacy = copy.deepcopy(payload)
+    legacy["schema"] = SCHEMA_V1
+    for case in legacy["cases"]:
+        case.pop("phases", None)
+    return legacy
+
+
 class TestRunSuite:
     def test_payload_is_schema_valid(self, payload):
         validate_payload(payload)  # raises on failure
@@ -195,8 +209,7 @@ class TestSchemaVersions:
     """v2 is a strict superset of v1: old payloads must keep validating."""
 
     def test_v1_payload_still_validates(self, payload):
-        legacy = copy.deepcopy(payload)
-        legacy["schema"] = SCHEMA_V1
+        legacy = downgraded_to_v1(payload)
         validate_payload(legacy)
 
     def test_committed_baseline_validates_as_current_schema(self):
@@ -223,8 +236,7 @@ class TestSchemaVersions:
         validate_payload(current)
 
     def test_v1_payload_with_latency_rejected(self, payload):
-        legacy = copy.deepcopy(payload)
-        legacy["schema"] = SCHEMA_V1
+        legacy = downgraded_to_v1(payload)
         legacy["cases"][0]["policies"][0]["latency"] = {
             "count": 1, "mean": 0.0, "p50": 0.0, "p99": 0.0, "p999": 0.0, "max": 0.0,
         }
@@ -245,11 +257,56 @@ class TestSchemaVersions:
         with pytest.raises(BenchSchemaError, match="count"):
             validate_payload(current)
 
+    def test_phases_block_present_and_valid(self, payload):
+        from repro.bench.runner import PHASE_KEYS
+        from repro.bench.schema import PHASE_NAMES
+
+        assert PHASE_KEYS == PHASE_NAMES
+        for case in payload["cases"]:
+            phases = case["phases"]
+            assert set(phases) == set(PHASE_NAMES)
+            assert all(value >= 0 for value in phases.values())
+            # The breakdown partitions the case wall-clock (trace_compile is
+            # extra, outside the timed replay).
+            replay = sum(value for key, value in phases.items() if key != "trace_compile")
+            assert replay == pytest.approx(case["wall_clock_s"], abs=1e-6)
+
+    def test_v1_payload_with_phases_rejected(self, payload):
+        legacy = copy.deepcopy(payload)
+        legacy["schema"] = SCHEMA_V1
+        with pytest.raises(BenchSchemaError, match="phase breakdowns require"):
+            validate_payload(legacy)
+
+    def test_unknown_phase_name_rejected(self, payload):
+        current = copy.deepcopy(payload)
+        current["cases"][0]["phases"]["gc_pause"] = 0.001
+        with pytest.raises(BenchSchemaError, match="unknown phase"):
+            validate_payload(current)
+
+    def test_missing_phase_name_rejected(self, payload):
+        current = copy.deepcopy(payload)
+        del current["cases"][0]["phases"]["cover_solve"]
+        with pytest.raises(BenchSchemaError, match="missing required phase"):
+            validate_payload(current)
+
+    def test_negative_phase_time_rejected(self, payload):
+        current = copy.deepcopy(payload)
+        current["cases"][0]["phases"]["metrics"] = -0.5
+        with pytest.raises(BenchSchemaError, match="negative phase time"):
+            validate_payload(current)
+
+    def test_payload_without_phases_still_validates(self, payload):
+        # The committed v2 baseline may predate the phase breakdown; the
+        # block is optional in v2.
+        current = copy.deepcopy(payload)
+        for case in current["cases"]:
+            case.pop("phases", None)
+        validate_payload(current)
+
     def test_v2_payload_compares_against_v1_baseline(self, payload):
         # Old checkouts may still carry a v1 baseline; mixed schema
         # versions must compare cleanly.
-        baseline = copy.deepcopy(payload)
-        baseline["schema"] = SCHEMA_V1
+        baseline = downgraded_to_v1(payload)
         report = compare_payloads(payload, baseline, tolerance=0.15)
         assert report.ok
 

@@ -97,10 +97,21 @@ class TestDispatch:
         network = build_classic_network()
         assert solve_max_flow(network, "s", "t", method="dinic") == pytest.approx(23.0)
 
+    def test_push_relabel_method(self):
+        network = build_classic_network()
+        assert solve_max_flow(network, "s", "t", method="push-relabel") == pytest.approx(
+            23.0
+        )
+        network.check_flow_conservation("s", "t")
+
+    def test_auto_method_small_graph(self):
+        network = build_classic_network()
+        assert solve_max_flow(network, "s", "t", method="auto") == pytest.approx(23.0)
+
     def test_unknown_method_raises(self):
         network = build_classic_network()
         with pytest.raises(ValueError):
-            solve_max_flow(network, "s", "t", method="push-relabel")
+            solve_max_flow(network, "s", "t", method="simplex")
 
 
 def random_graph_edges(seed: int, node_count: int, edge_count: int):

@@ -62,11 +62,46 @@ def test_property_max_flow_equals_min_cut(case):
 @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(case=flow_networks())
 def test_property_solvers_agree(case):
-    """Edmonds-Karp and Dinic compute the same max-flow value."""
+    """Edmonds-Karp, Dinic and push-relabel compute the same max-flow value."""
     network, source, sink = case
     ek = solve_max_flow(network.copy(), source, sink, method="edmonds-karp")
     dinic = solve_max_flow(network.copy(), source, sink, method="dinic")
+    push_relabel = solve_max_flow(network.copy(), source, sink, method="push-relabel")
     assert ek == pytest.approx(dinic)
+    assert ek == pytest.approx(push_relabel)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=flow_networks())
+def test_property_push_relabel_flow_is_valid(case):
+    """Push-relabel leaves a conserving flow whose residual cut certifies it.
+
+    The cut check matters beyond the value: cover extraction reads the
+    residual-reachable source side, so the flow must be a genuine max flow
+    (excess fully drained), not merely a preflow with the right value.
+    """
+    network, source, sink = case
+    flow = solve_max_flow(network, source, sink, method="push-relabel")
+    network.check_flow_conservation(source, sink)
+    assert flow == pytest.approx(_residual_cut_capacity(network, source))
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(case=flow_networks())
+def test_property_solvers_agree_on_residual_cut(case):
+    """All solvers induce the same minimal source side of the min cut.
+
+    The minimal source side of a min cut is unique, so the covers extracted
+    from the residual graph cannot depend on the solver.
+    """
+    network, source, sink = case
+    ek_network = network.copy()
+    pr_network = network.copy()
+    solve_max_flow(ek_network, source, sink, method="edmonds-karp")
+    solve_max_flow(pr_network, source, sink, method="push-relabel")
+    assert ek_network.residual_reachable(source) == pr_network.residual_reachable(
+        source
+    )
 
 
 @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
@@ -82,7 +117,10 @@ def test_property_cover_network_flow_equals_cut(instance):
 # Vertex cover vs brute force
 # ----------------------------------------------------------------------
 @settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
-@given(instance=cover_instances(), method=st.sampled_from(["edmonds-karp", "dinic"]))
+@given(
+    instance=cover_instances(),
+    method=st.sampled_from(["edmonds-karp", "dinic", "push-relabel"]),
+)
 def test_property_vertex_cover_matches_brute_force(instance, method):
     """The flow-based cover is valid and exactly as light as the oracle's."""
     result = min_weight_vertex_cover(instance, method=method)

@@ -1,0 +1,194 @@
+"""Sampling-grid edge cases for both engines.
+
+Regression suite for two end-of-run sampling bugs:
+
+* the engines used to record a *duplicate* final ``TrafficSample`` whenever
+  ``total_events % sample_every == 0`` (once from the in-loop grid check,
+  once from the epilogue),
+* :class:`repro.sim.metrics.CacheOccupancySeries` never received an
+  end-of-run sample at all, so it stopped at the last grid point and stayed
+  empty for traces shorter than ``sample_every``.
+
+The contract, for every engine and every series: sample indices are strictly
+increasing, fall on the grid except for the last one, and always end at
+``total_events`` exactly once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.vcover import VCoverConfig, VCoverPolicy
+from repro.core.yardsticks import NoCachePolicy, ReplicaPolicy
+from repro.network.link import NetworkLink
+from repro.repository.objects import ObjectCatalog
+from repro.repository.server import Repository
+from repro.sim.engine import EngineConfig, SimulationEngine
+from repro.sim.multicache import run_topology
+from repro.sim.runner import vcover_spec
+from repro.topology import TopologySpec
+from repro.workload.trace import QueryEvent, Trace, UpdateEvent
+from tests.conftest import make_query, make_update
+
+
+@pytest.fixture
+def catalog():
+    return ObjectCatalog.from_sizes({1: 10.0, 2: 20.0, 3: 30.0})
+
+
+def build_trace(events: int) -> Trace:
+    items = []
+    for index in range(events):
+        timestamp = float(index + 1)
+        if index % 3 == 2:
+            items.append(
+                UpdateEvent(
+                    make_update(index, object_id=1 + index % 3, cost=1.0, timestamp=timestamp)
+                )
+            )
+        else:
+            items.append(
+                QueryEvent(
+                    make_query(index, object_ids=[1 + index % 3], cost=2.0, timestamp=timestamp)
+                )
+            )
+    return Trace(items)
+
+
+def run_single(catalog, policy_name: str, events: int, sample_every: int,
+               measure_from: int = 0):
+    # keep_update_log=False so nocache/replica take the batched executor
+    # (the history-free repository is an eligibility condition).
+    repository = Repository(catalog, keep_update_log=False)
+    link = NetworkLink()
+    if policy_name == "nocache":
+        policy = NoCachePolicy(repository, 0.0, link)
+    elif policy_name == "replica":
+        policy = ReplicaPolicy(repository, float("inf"), link)
+    else:
+        policy = VCoverPolicy(repository, 30.0, link, VCoverConfig())
+    engine = SimulationEngine(
+        repository, EngineConfig(sample_every=sample_every, measure_from=measure_from)
+    )
+    return engine.run(policy, build_trace(events), link)
+
+
+def assert_grid(indices, events: int, sample_every: int) -> None:
+    """The grid contract: strictly increasing, on-grid, ends at ``events`` once."""
+    assert indices == sorted(set(indices)), f"not strictly increasing: {indices}"
+    assert indices[-1] == events
+    assert indices.count(events) == 1
+    for index in indices[:-1]:
+        assert index % sample_every == 0, f"off-grid interior sample {index}"
+    expected = list(range(sample_every, events, sample_every)) + [events]
+    assert indices == expected
+
+
+# ``vcover`` exercises the scalar loop, ``nocache``/``replica`` the batched
+# executors -- the grid contract must hold identically on every path.
+POLICIES = ("nocache", "replica", "vcover")
+
+
+class TestSingleCacheGrid:
+    @pytest.mark.parametrize("policy_name", POLICIES)
+    def test_length_equals_sample_every(self, catalog, policy_name):
+        result = run_single(catalog, policy_name, events=10, sample_every=10)
+        assert result.time_series.event_indices() == [10]
+
+    @pytest.mark.parametrize("policy_name", POLICIES)
+    def test_length_shorter_than_sample_every(self, catalog, policy_name):
+        result = run_single(catalog, policy_name, events=7, sample_every=10)
+        assert result.time_series.event_indices() == [7]
+
+    @pytest.mark.parametrize("policy_name", POLICIES)
+    def test_length_multiple_of_sample_every_no_duplicate(self, catalog, policy_name):
+        result = run_single(catalog, policy_name, events=30, sample_every=10)
+        assert_grid(result.time_series.event_indices(), 30, 10)
+
+    @pytest.mark.parametrize("policy_name", POLICIES)
+    def test_length_off_grid(self, catalog, policy_name):
+        result = run_single(catalog, policy_name, events=25, sample_every=10)
+        assert_grid(result.time_series.event_indices(), 25, 10)
+
+    @pytest.mark.parametrize("policy_name", ("replica", "vcover"))
+    def test_occupancy_gets_end_of_run_sample(self, catalog, policy_name):
+        result = run_single(catalog, policy_name, events=25, sample_every=10)
+        assert result.occupancy is not None
+        assert_grid(result.occupancy.event_indices, 25, 10)
+
+    @pytest.mark.parametrize("policy_name", ("replica", "vcover"))
+    def test_occupancy_sampled_for_short_traces(self, catalog, policy_name):
+        # Used to stay completely empty below sample_every.
+        result = run_single(catalog, policy_name, events=7, sample_every=10)
+        assert result.occupancy.event_indices == [7]
+
+    @pytest.mark.parametrize("policy_name", ("replica", "vcover"))
+    def test_occupancy_no_duplicate_on_grid_boundary(self, catalog, policy_name):
+        result = run_single(catalog, policy_name, events=20, sample_every=10)
+        assert result.occupancy.event_indices == [10, 20]
+
+    @pytest.mark.parametrize("policy_name", POLICIES)
+    @pytest.mark.parametrize("measure_from", (10, 13))
+    def test_warmup_capture_on_and_off_grid(self, catalog, policy_name, measure_from):
+        # Reference: a sample-every-1 run records cumulative traffic after
+        # every event; warm-up at measure_from is the cumulative cost of the
+        # first measure_from events.
+        reference = run_single(catalog, policy_name, events=25, sample_every=1)
+        expected = reference.time_series.totals()[measure_from - 1]
+        result = run_single(
+            catalog, policy_name, events=25, sample_every=10, measure_from=measure_from
+        )
+        assert result.warmup_traffic == pytest.approx(expected)
+        assert result.measured_traffic == pytest.approx(
+            result.total_traffic - expected
+        )
+
+    @pytest.mark.parametrize("policy_name", POLICIES)
+    def test_measure_from_beyond_trace(self, catalog, policy_name):
+        result = run_single(
+            catalog, policy_name, events=7, sample_every=10, measure_from=100
+        )
+        assert result.warmup_traffic == pytest.approx(result.total_traffic)
+        assert result.measured_traffic == pytest.approx(0.0)
+
+
+class TestMultiCacheGrid:
+    def run_fleet(self, catalog, events: int, sample_every: int):
+        return run_topology(
+            TopologySpec.uniform(vcover_spec(), 2, cache_fraction=0.5),
+            catalog,
+            build_trace(events),
+            EngineConfig(sample_every=sample_every),
+        )
+
+    def test_no_duplicate_final_sample_on_grid(self, catalog):
+        result = self.run_fleet(catalog, events=30, sample_every=10)
+        assert_grid(result.aggregate.time_series.event_indices(), 30, 10)
+        for run in result.site_runs:
+            assert_grid(run.time_series.event_indices(), 30, 10)
+
+    def test_off_grid_length(self, catalog):
+        result = self.run_fleet(catalog, events=25, sample_every=10)
+        assert_grid(result.aggregate.time_series.event_indices(), 25, 10)
+        for run in result.site_runs:
+            assert_grid(run.time_series.event_indices(), 25, 10)
+
+    def test_short_trace_still_sampled(self, catalog):
+        result = self.run_fleet(catalog, events=7, sample_every=10)
+        assert result.aggregate.time_series.event_indices() == [7]
+        for run in result.site_runs:
+            assert run.time_series.event_indices() == [7]
+
+    def test_occupancy_series_follow_the_same_grid(self, catalog):
+        result = self.run_fleet(catalog, events=25, sample_every=10)
+        assert result.aggregate.occupancy is not None
+        assert_grid(result.aggregate.occupancy.event_indices, 25, 10)
+        for run in result.site_runs:
+            assert run.occupancy is not None
+            assert_grid(run.occupancy.event_indices, 25, 10)
+
+    def test_occupancy_end_of_run_only_for_short_traces(self, catalog):
+        result = self.run_fleet(catalog, events=7, sample_every=10)
+        assert result.aggregate.occupancy.event_indices == [7]
+        for run in result.site_runs:
+            assert run.occupancy.event_indices == [7]
